@@ -1,0 +1,106 @@
+// Ablation A3: the embedding store (entity similarity, Table I's ES task).
+// Google-benchmark microbenchmarks of flat vs IVF top-k search, plus an
+// IVF recall report.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/embedding_store.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using kgnet::core::EmbeddingStore;
+using kgnet::core::Metric;
+using kgnet::core::SearchHit;
+
+constexpr size_t kDim = 32;
+
+EmbeddingStore* BuildStore(size_t n, bool with_ivf) {
+  auto* store = new EmbeddingStore(kDim, Metric::kCosine);
+  kgnet::tensor::Rng rng(5);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::vector<float> v(kDim);
+    const float center = static_cast<float>(i % 32);
+    for (auto& x : v) x = center + rng.NextGaussian();
+    (void)store->Add(i, v);
+  }
+  if (with_ivf) (void)store->BuildIvf(32);
+  return store;
+}
+
+std::vector<float> Query(uint64_t seed) {
+  kgnet::tensor::Rng rng(seed);
+  std::vector<float> q(kDim);
+  const float center = static_cast<float>(seed % 32);
+  for (auto& x : q) x = center + rng.NextGaussian();
+  return q;
+}
+
+void BM_FlatSearch(benchmark::State& state) {
+  const size_t n = state.range(0);
+  std::unique_ptr<EmbeddingStore> store(BuildStore(n, false));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto hits = store->SearchFlat(Query(++seed), 10);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FlatSearch)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_IvfSearch(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t nprobe = state.range(1);
+  std::unique_ptr<EmbeddingStore> store(BuildStore(n, true));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto hits = store->SearchIvf(Query(++seed), 10, nprobe);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IvfSearch)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Args({50000, 1})
+    ->Args({50000, 4});
+
+void BM_IvfBuild(benchmark::State& state) {
+  const size_t n = state.range(0);
+  for (auto _ : state) {
+    std::unique_ptr<EmbeddingStore> store(BuildStore(n, false));
+    (void)store->BuildIvf(32);
+    benchmark::DoNotOptimize(store);
+  }
+}
+BENCHMARK(BM_IvfBuild)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+/// Recall report printed after the microbenchmarks.
+void ReportRecall() {
+  std::unique_ptr<EmbeddingStore> store(BuildStore(20000, true));
+  for (size_t nprobe : {1, 2, 4, 8}) {
+    size_t agree = 0;
+    const size_t trials = 100;
+    for (size_t t = 0; t < trials; ++t) {
+      auto exact = store->SearchFlat(Query(1000 + t), 1);
+      auto approx = store->SearchIvf(Query(1000 + t), 1, nprobe);
+      if (!exact.empty() && !approx.empty() &&
+          exact[0].id == approx[0].id)
+        ++agree;
+    }
+    std::printf("IVF recall@1 (nprobe=%zu): %.2f\n", nprobe,
+                static_cast<double>(agree) / trials);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  ReportRecall();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Regenerates Figure 14: accuracy / training time / training memory for
+// the YAGO4 place-country node-classification task, full KG vs KGNet(KG').
+//
+// Paper numbers (400M-triple YAGO4):
+//   accuracy %:  G-SAINT 79->90, RGCN 95->81*, SH-SAINT 94->94
+//   time (h):    7.3->1.8, 2.0->2.1, 6.4->2.6
+//   memory (GB): 130->30, 220->100, 150->50
+// (*the paper's RGCN loses accuracy on KG' for YAGO — the only case where
+// full-KG wins; our shape check therefore only requires comparable
+// accuracy, and strict wins on time and memory.)
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/kgnet.h"
+#include "workload/yago_gen.h"
+
+int main() {
+  using namespace kgnet;
+  using workload::YagoSchema;
+  bench::ShapeChecker shape;
+
+  core::KgNet kg;
+  workload::YagoOptions opts;
+  opts.num_places = 2000;
+  opts.num_countries = 12;
+  opts.num_people = 1000;
+  opts.num_orgs = 300;
+  opts.periphery_scale = 2.0;
+  opts.noise = 0.05;
+  if (!workload::GenerateYago(opts, &kg.store()).ok()) return 1;
+  std::printf("FIGURE 14: YAGO4 place-country node classification "
+              "(%zu triples, 12 countries)\n", kg.store().size());
+  std::printf("Task budget: 3.0 s wall-clock per training run.\n\n");
+  std::printf("%-14s %-10s %10s %10s %12s %8s\n", "method", "pipeline",
+              "acc (%)", "time (s)", "mem (MB)", "epochs");
+
+  struct Row {
+    double acc, secs, mem, secs_per_epoch;
+  };
+  std::map<std::string, std::map<bool, Row>> rows;
+
+  const struct {
+    gml::GmlMethod method;
+    const char* name;
+  } kMethods[] = {{gml::GmlMethod::kGraphSaint, "G-SAINT"},
+                  {gml::GmlMethod::kRgcn, "RGCN"},
+                  {gml::GmlMethod::kShadowSaint, "SH-SAINT"}};
+
+  for (const auto& m : kMethods) {
+    for (bool kgprime : {false, true}) {
+      core::TrainTaskSpec spec;
+      spec.task = gml::TaskType::kNodeClassification;
+      spec.target_type_iri = YagoSchema::Place();
+      spec.label_predicate_iri = YagoSchema::InCountry();
+      spec.forced_method = m.method;
+      spec.use_meta_sampling = kgprime;
+      spec.config.epochs = 200;
+      spec.config.patience = 0;
+      spec.config.hidden_dim = 16;
+      spec.config.embed_dim = 16;
+      spec.budget.max_seconds = 3.0;
+      spec.model_name = std::string(m.name) + (kgprime ? "-kgp" : "-full");
+      auto out = kg.TrainTask(spec);
+      if (!out.ok()) {
+        std::fprintf(stderr, "training failed: %s\n",
+                     out.status().ToString().c_str());
+        return 1;
+      }
+      rows[m.name][kgprime] = {
+          out->report.metric * 100.0, out->report.train_seconds,
+          bench::ToMb(out->report.peak_memory_bytes),
+          out->report.train_seconds /
+              std::max<size_t>(1, out->report.epochs_run)};
+      std::printf("%-14s %-10s %10.1f %10.2f %12.1f %8zu\n", m.name,
+                  kgprime ? "KGNET(KG')" : "YAGO(KG)",
+                  out->report.metric * 100.0, out->report.train_seconds,
+                  bench::ToMb(out->report.peak_memory_bytes),
+                  out->report.epochs_run);
+    }
+  }
+
+  for (const auto& m : kMethods) {
+    const Row& full = rows[m.name][false];
+    const Row& kgp = rows[m.name][true];
+    shape.Check(kgp.acc >= full.acc - 15.0,
+                std::string(m.name) +
+                    ": KG' accuracy comparable or better (paper allows an "
+                    "RGCN regression on YAGO)");
+    shape.Check(kgp.secs_per_epoch < full.secs_per_epoch,
+                std::string(m.name) +
+                    ": KG' trains faster per epoch (both runs share the "
+                    "same wall-clock budget)");
+    shape.Check(kgp.mem < full.mem,
+                std::string(m.name) + ": KG' uses less training memory");
+  }
+  shape.Check(rows["G-SAINT"][true].acc >= rows["G-SAINT"][false].acc,
+              "G-SAINT gains accuracy on KG' (paper: 79 -> 90)");
+  return shape.Report() == 0 ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Regenerates the Figure 11 vs Figure 12 comparison: SPARQL-ML execution
+// plans. The per-instance plan issues one inference call per bound
+// instance; the dictionary plan issues a single call that materializes all
+// predictions and answers per-row lookups locally. The optimizer must pick
+// the dictionary plan once the instance count outgrows the break-even
+// point.
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/kgnet.h"
+#include "workload/dblp_gen.h"
+
+namespace {
+constexpr char kPrefixes[] =
+    "PREFIX dblp: <https://dblp.org/rdf/>\n"
+    "PREFIX kgnet: <https://www.kgnet.com/>\n";
+
+const char* kQuery =
+    "SELECT ?paper ?venue WHERE {\n"
+    "  ?paper a dblp:Publication .\n"
+    "  ?paper ?clf ?venue .\n"
+    "  ?clf a kgnet:NodeClassifier .\n"
+    "  ?clf kgnet:TargetNode dblp:Publication . }";
+}  // namespace
+
+int main() {
+  using namespace kgnet;
+  using workload::DblpSchema;
+  bench::ShapeChecker shape;
+
+  std::printf("QUERY OPTIMIZER: per-instance (Fig. 11) vs dictionary "
+              "(Fig. 12) plans\n\n");
+  std::printf("%-10s %-14s %12s %14s %12s\n", "|papers|", "plan",
+              "HTTP calls", "exec time (ms)", "rows");
+
+  for (size_t papers : {25, 100, 400, 1600}) {
+    core::KgNet kg;
+    workload::DblpOptions opts;
+    opts.num_papers = papers;
+    opts.num_authors = std::max<size_t>(40, papers / 2);
+    opts.num_venues = 5;
+    opts.num_affiliations = 15;
+    opts.include_periphery = false;
+    if (!workload::GenerateDblp(opts, &kg.store()).ok()) return 1;
+
+    core::TrainTaskSpec spec;
+    spec.task = gml::TaskType::kNodeClassification;
+    spec.target_type_iri = DblpSchema::Publication();
+    spec.label_predicate_iri = DblpSchema::PublishedIn();
+    spec.forced_method = gml::GmlMethod::kGraphSaint;
+    spec.config.epochs = 5;  // quality is irrelevant to plan cost
+    spec.config.hidden_dim = 8;
+    spec.config.embed_dim = 8;
+    spec.model_name = "planbench";
+    auto out = kg.TrainTask(spec);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+      return 1;
+    }
+
+    const std::string query = std::string(kPrefixes) + kQuery;
+    core::ExecutionStats per, dict, opt;
+    auto r1 = kg.service().ExecuteWithPlan(query,
+                                           core::RewritePlan::kPerInstance,
+                                           &per);
+    auto r2 = kg.service().ExecuteWithPlan(query,
+                                           core::RewritePlan::kDictionary,
+                                           &dict);
+    auto r3 = kg.Execute(query, &opt);  // optimizer decides
+    if (!r1.ok() || !r2.ok() || !r3.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    std::printf("%-10zu %-14s %12llu %14.2f %12zu\n", papers,
+                "per-instance",
+                static_cast<unsigned long long>(per.http_calls),
+                per.execution_seconds * 1e3, r1->NumRows());
+    std::printf("%-10s %-14s %12llu %14.2f %12zu\n", "",
+                "dictionary",
+                static_cast<unsigned long long>(dict.http_calls),
+                dict.execution_seconds * 1e3, r2->NumRows());
+    std::printf("%-10s %-14s %12llu %14.2f %12s\n", "", "(optimizer)",
+                static_cast<unsigned long long>(opt.http_calls),
+                opt.execution_seconds * 1e3,
+                opt.plan == core::RewritePlan::kDictionary ? "-> dict"
+                                                           : "-> per-inst");
+
+    shape.Check(per.http_calls == papers,
+                "per-instance plan issues |papers| calls (" +
+                    std::to_string(papers) + ")");
+    shape.Check(dict.http_calls == 1, "dictionary plan issues one call");
+    shape.Check(r1->NumRows() == r2->NumRows(),
+                "both plans return the same number of rows");
+    if (papers >= 100)
+      shape.Check(opt.plan == core::RewritePlan::kDictionary,
+                  "optimizer picks the dictionary plan at |papers|=" +
+                      std::to_string(papers));
+  }
+  return shape.Report() == 0 ? 0 : 1;
+}

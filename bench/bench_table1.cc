@@ -1,0 +1,67 @@
+// Regenerates Table I: statistics of the evaluation KGs and their tasks.
+//
+// Paper values (full-scale): DBLP 252M triples, 48 edge types, 42 node
+// types, tasks NC/LP/ES; YAGO4 400M triples, 98 edge types, 104 node
+// types, task NC. The mini KGs reproduce the *schema shape* (many node and
+// edge types, heavily skewed class sizes) at laptop scale.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rdf/graph_stats.h"
+#include "workload/dblp_gen.h"
+#include "workload/yago_gen.h"
+
+int main() {
+  using namespace kgnet;
+  bench::ShapeChecker shape;
+
+  rdf::TripleStore dblp;
+  workload::DblpOptions dopts;
+  dopts.num_papers = 2000;
+  dopts.num_authors = 1000;
+  dopts.num_venues = 20;
+  dopts.num_affiliations = 60;
+  dopts.periphery_scale = 2.0;
+  if (!workload::GenerateDblp(dopts, &dblp).ok()) return 1;
+
+  rdf::TripleStore yago;
+  workload::YagoOptions yopts;
+  yopts.num_places = 2500;
+  yopts.num_countries = 20;
+  yopts.num_people = 1500;
+  yopts.num_orgs = 500;
+  yopts.periphery_scale = 4.0;  // YAGO4 is the larger KG (400M vs 252M)
+  if (!workload::GenerateYago(yopts, &yago).ok()) return 1;
+
+  rdf::GraphStats ds = rdf::ComputeGraphStats(dblp);
+  rdf::GraphStats ys = rdf::ComputeGraphStats(yago);
+
+  std::printf("TABLE I: Statistics of the used KGs and GML tasks "
+              "(mini-scale reproduction)\n\n");
+  std::printf("%-24s %14s %14s\n", "Knowledge Graph", "DBLP-mini",
+              "YAGO4-mini");
+  std::printf("%-24s %14zu %14zu\n", "#Triples", ds.num_triples,
+              ys.num_triples);
+  std::printf("%-24s %14zu %14zu\n", "#Edge Types", ds.num_edge_types,
+              ys.num_edge_types);
+  std::printf("%-24s %14zu %14zu\n", "#Node Types", ds.num_node_types,
+              ys.num_node_types);
+  std::printf("%-24s %8zu venue %6zu country\n", "#Target classes",
+              ds.class_counts["https://dblp.org/rdf/Venue"],
+              ys.class_counts["http://yago-knowledge.org/resource/Country"]);
+  std::printf("%-24s %9zu paper %8zu place\n", "#Targets",
+              ds.class_counts["https://dblp.org/rdf/Publication"],
+              ys.class_counts["http://yago-knowledge.org/resource/Place"]);
+  std::printf("%-24s %14s %14s\n", "Tasks", "NC,LP,ES", "NC");
+
+  // Paper shape: YAGO is larger and schema-richer than DBLP.
+  shape.Check(ys.num_triples > ds.num_triples,
+              "YAGO4 has more triples than DBLP");
+  shape.Check(ys.num_edge_types > ds.num_edge_types,
+              "YAGO4 has more edge types than DBLP (98 vs 48)");
+  shape.Check(ys.num_node_types > ds.num_node_types,
+              "YAGO4 has more node types than DBLP (104 vs 42)");
+  shape.Check(ds.num_node_types >= 8,
+              "DBLP-mini keeps a rich node-type inventory");
+  return shape.Report() == 0 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Author-affiliation link prediction and entity similarity (the paper's
+// Figure 10 query and the ES task of Table I).
+//
+// Trains a MorsE-style inductive link predictor on the d2h1 task-specific
+// subgraph, runs the SPARQL-ML affiliation query, then uses the model's
+// embedding store for entity-similarity search.
+#include <cstdio>
+#include <string>
+
+#include "core/kgnet.h"
+#include "workload/dblp_gen.h"
+
+namespace {
+constexpr char kPrefixes[] =
+    "PREFIX dblp: <https://dblp.org/rdf/>\n"
+    "PREFIX kgnet: <https://www.kgnet.com/>\n";
+}
+
+int main() {
+  using namespace kgnet;
+  using workload::DblpSchema;
+
+  core::KgNet kg;
+  workload::DblpOptions opts;
+  opts.num_papers = 600;
+  opts.num_authors = 300;
+  opts.num_venues = 6;
+  opts.num_affiliations = 24;
+  // Strong community->affiliation structure, as in the LP experiment.
+  opts.affiliation_community_bias = 0.9;
+  Status gen = workload::GenerateDblp(opts, &kg.store());
+  if (!gen.ok()) {
+    std::fprintf(stderr, "%s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  // Train the link predictor (MorsE, meta-sampled d2h1 as in the paper).
+  core::TrainTaskSpec spec;
+  spec.task = gml::TaskType::kLinkPrediction;
+  spec.target_type_iri = DblpSchema::Person();
+  spec.destination_type_iri = DblpSchema::Affiliation();
+  spec.task_predicate_iri = DblpSchema::PrimaryAffiliation();
+  spec.forced_method = gml::GmlMethod::kMorse;
+  spec.config.epochs = 60;
+  spec.config.embed_dim = 16;
+  spec.config.lr = 0.05f;
+  spec.config.eval_candidates = 0;  // rank against every affiliation
+  spec.model_name = "author-affiliation";
+  auto outcome = kg.TrainTask(spec);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Trained %s on %s: Hits@10=%.2f, MRR=%.2f\n\n",
+              outcome->report.method.c_str(), outcome->sampler_label.c_str(),
+              outcome->report.metric, outcome->report.mrr);
+
+  // Figure 10: predict each author's affiliation through SPARQL-ML.
+  auto links = kg.Execute(std::string(kPrefixes) +
+                          "SELECT ?author ?affiliation WHERE {\n"
+                          "  ?author a dblp:Person .\n"
+                          "  ?author ?LinkPredictor ?affiliation .\n"
+                          "  ?LinkPredictor a kgnet:LinkPredictor .\n"
+                          "  ?LinkPredictor kgnet:SourceNode dblp:Person .\n"
+                          "  ?LinkPredictor kgnet:DestinationNode "
+                          "dblp:Affiliation .\n"
+                          "  ?LinkPredictor kgnet:TopK-Links 1 .\n"
+                          "} LIMIT 8");
+  if (!links.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 links.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Predicted affiliations:\n%s\n", links->ToTable().c_str());
+
+  // Entity similarity: nearest authors in embedding space.
+  const std::string author = "https://dblp.org/rdf/person/0";
+  auto sims = kg.GetSimilarEntities(outcome->model_uri, author, 5);
+  if (!sims.ok()) {
+    std::fprintf(stderr, "similarity failed: %s\n",
+                 sims.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Entities most similar to <%s>:\n", author.c_str());
+  for (const auto& iri : *sims) std::printf("  %s\n", iri.c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, in the style of absl::StatusOr<T>.
+#ifndef KGNET_COMMON_RESULT_H_
+#define KGNET_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace kgnet {
+
+/// Holds either a value of type T or an error Status.
+///
+/// A Result constructed from a T is OK; a Result constructed from a non-OK
+/// Status carries the error. Accessing the value of an error Result is a
+/// programming bug and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK Status requires a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define KGNET_ASSIGN_OR_RETURN(lhs, expr)            \
+  KGNET_ASSIGN_OR_RETURN_IMPL_(                      \
+      KGNET_CONCAT_(_kgnet_result, __LINE__), lhs, expr)
+
+#define KGNET_CONCAT_INNER_(a, b) a##b
+#define KGNET_CONCAT_(a, b) KGNET_CONCAT_INNER_(a, b)
+#define KGNET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace kgnet
+
+#endif  // KGNET_COMMON_RESULT_H_

@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+#ifndef KGNET_COMMON_STRING_UTIL_H_
+#define KGNET_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgnet {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Lower-cases ASCII characters.
+std::string AsciiToLower(std::string_view s);
+
+}  // namespace kgnet
+
+#endif  // KGNET_COMMON_STRING_UTIL_H_

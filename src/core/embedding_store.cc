@@ -1,0 +1,159 @@
+#include "core/embedding_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace kgnet::core {
+
+namespace {
+
+float Dot(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float L2(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float diff = a[i] - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+float EmbeddingStore::Distance(const float* a, const float* b) const {
+  if (metric_ == Metric::kL2) return L2(a, b, dim_);
+  const float na = std::sqrt(Dot(a, a, dim_)) + 1e-12f;
+  const float nb = std::sqrt(Dot(b, b, dim_)) + 1e-12f;
+  return 1.0f - Dot(a, b, dim_) / (na * nb);
+}
+
+Status EmbeddingStore::Add(uint64_t id, const std::vector<float>& vec) {
+  if (vec.size() != dim_)
+    return Status::InvalidArgument(
+        "dimension mismatch: expected " + std::to_string(dim_) + ", got " +
+        std::to_string(vec.size()));
+  ids_.push_back(id);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  ivf_valid_ = false;
+  return Status::OK();
+}
+
+Status EmbeddingStore::Remove(uint64_t id) {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end())
+    return Status::NotFound("id not in store: " + std::to_string(id));
+  const size_t row = static_cast<size_t>(it - ids_.begin());
+  ids_.erase(it);
+  data_.erase(data_.begin() + row * dim_, data_.begin() + (row + 1) * dim_);
+  ivf_valid_ = false;
+  return Status::OK();
+}
+
+std::vector<SearchHit> EmbeddingStore::SearchFlat(
+    const std::vector<float>& query, size_t k) const {
+  std::vector<SearchHit> hits;
+  if (query.size() != dim_) return hits;
+  hits.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i)
+    hits.push_back({ids_[i], Distance(query.data(), &data_[i * dim_])});
+  const size_t kk = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + kk, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      return a.distance < b.distance;
+                    });
+  hits.resize(kk);
+  return hits;
+}
+
+Status EmbeddingStore::BuildIvf(size_t nlist, size_t iters, uint64_t seed) {
+  if (nlist == 0 || ids_.empty())
+    return Status::InvalidArgument("need nlist > 0 and a non-empty store");
+  nlist = std::min(nlist, ids_.size());
+  std::mt19937_64 gen(seed);
+
+  // k-means++ style init: pick distinct random rows.
+  std::vector<uint32_t> perm(ids_.size());
+  for (uint32_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), gen);
+  centroids_.assign(nlist * dim_, 0.0f);
+  for (size_t c = 0; c < nlist; ++c)
+    std::copy(&data_[perm[c] * dim_], &data_[perm[c] * dim_] + dim_,
+              &centroids_[c * dim_]);
+
+  std::vector<uint32_t> assign(ids_.size(), 0);
+  for (size_t iter = 0; iter < iters; ++iter) {
+    // Assignment step.
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      float best = std::numeric_limits<float>::max();
+      uint32_t arg = 0;
+      for (size_t c = 0; c < nlist; ++c) {
+        const float d =
+            Distance(&data_[i * dim_], &centroids_[c * dim_]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<uint32_t>(c);
+        }
+      }
+      assign[i] = arg;
+    }
+    // Update step.
+    std::vector<float> sums(nlist * dim_, 0.0f);
+    std::vector<size_t> counts(nlist, 0);
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      const uint32_t c = assign[i];
+      ++counts[c];
+      for (size_t k = 0; k < dim_; ++k)
+        sums[c * dim_ + k] += data_[i * dim_ + k];
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t k = 0; k < dim_; ++k)
+        centroids_[c * dim_ + k] = sums[c * dim_ + k] * inv;
+    }
+  }
+  cells_.assign(nlist, {});
+  for (size_t i = 0; i < ids_.size(); ++i) cells_[assign[i]].push_back(i);
+  ivf_valid_ = true;
+  return Status::OK();
+}
+
+std::vector<SearchHit> EmbeddingStore::SearchIvf(
+    const std::vector<float>& query, size_t k, size_t nprobe) const {
+  if (!ivf_valid_) return SearchFlat(query, k);
+  if (query.size() != dim_) return {};
+  const size_t nlist = cells_.size();
+  nprobe = std::min(nprobe, nlist);
+
+  // Rank cells by centroid distance.
+  std::vector<std::pair<float, uint32_t>> cell_order;
+  cell_order.reserve(nlist);
+  for (size_t c = 0; c < nlist; ++c)
+    cell_order.emplace_back(Distance(query.data(), &centroids_[c * dim_]),
+                            static_cast<uint32_t>(c));
+  std::partial_sort(cell_order.begin(), cell_order.begin() + nprobe,
+                    cell_order.end());
+
+  std::vector<SearchHit> hits;
+  for (size_t p = 0; p < nprobe; ++p) {
+    for (uint32_t row : cells_[cell_order[p].second]) {
+      hits.push_back(
+          {ids_[row], Distance(query.data(), &data_[row * dim_])});
+    }
+  }
+  const size_t kk = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + kk, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      return a.distance < b.distance;
+                    });
+  hits.resize(kk);
+  return hits;
+}
+
+}  // namespace kgnet::core

@@ -1,0 +1,77 @@
+// Embedding store for entity-similarity search (the paper uses FAISS).
+//
+// Two index types with the same Search() contract:
+//   * flat  — exact brute-force scan;
+//   * IVF   — k-means coarse quantizer; queries probe the `nprobe` closest
+//             cells, trading recall for latency (FAISS IndexIVFFlat).
+#ifndef KGNET_CORE_EMBEDDING_STORE_H_
+#define KGNET_CORE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace kgnet::core {
+
+/// Distance metrics supported by the store.
+enum class Metric {
+  kL2,      // squared euclidean, smaller = closer
+  kCosine,  // 1 - cosine similarity, smaller = closer
+};
+
+/// One search hit.
+struct SearchHit {
+  uint64_t id;
+  float distance;
+};
+
+/// A vector index over fixed-dimension float embeddings.
+class EmbeddingStore {
+ public:
+  explicit EmbeddingStore(size_t dim, Metric metric = Metric::kCosine)
+      : dim_(dim), metric_(metric) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return ids_.size(); }
+  Metric metric() const { return metric_; }
+
+  /// Adds a vector under `id`. Fails on dimension mismatch.
+  Status Add(uint64_t id, const std::vector<float>& vec);
+
+  /// Removes `id`; returns NotFound when absent. Invalidates the IVF index.
+  Status Remove(uint64_t id);
+
+  /// Exact top-k by brute force.
+  std::vector<SearchHit> SearchFlat(const std::vector<float>& query,
+                                    size_t k) const;
+
+  /// Builds an IVF index with `nlist` cells (k-means, `iters` iterations).
+  Status BuildIvf(size_t nlist, size_t iters = 8, uint64_t seed = 1);
+
+  /// Approximate top-k probing the `nprobe` closest cells. Falls back to
+  /// flat search if the IVF index is absent or stale.
+  std::vector<SearchHit> SearchIvf(const std::vector<float>& query, size_t k,
+                                   size_t nprobe = 4) const;
+
+  /// True if an up-to-date IVF index exists.
+  bool HasIvf() const { return ivf_valid_; }
+
+ private:
+  float Distance(const float* a, const float* b) const;
+
+  size_t dim_;
+  Metric metric_;
+  std::vector<uint64_t> ids_;
+  std::vector<float> data_;  // row-major, ids_.size() x dim_
+
+  // IVF state.
+  bool ivf_valid_ = false;
+  std::vector<float> centroids_;            // nlist x dim_
+  std::vector<std::vector<uint32_t>> cells_;  // row indexes per cell
+};
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_EMBEDDING_STORE_H_

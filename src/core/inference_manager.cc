@@ -1,0 +1,193 @@
+#include "core/inference_manager.h"
+
+#include <algorithm>
+
+#include "core/model_io.h"
+
+namespace kgnet::core {
+
+using rdf::kNullTermId;
+using rdf::TermId;
+
+Result<InferenceManager::ResolvedNode> InferenceManager::Resolve(
+    const std::string& model_uri, const std::string& node_iri) {
+  KGNET_ASSIGN_OR_RETURN(auto model, models_->Get(model_uri));
+  const rdf::TripleStore* enc = model->EncodingStore();
+  if (enc == nullptr)
+    return Status::Internal("model has no encoding store: " + model_uri);
+  TermId term = enc->dict().FindIri(node_iri);
+  if (term == kNullTermId)
+    return Status::NotFound("node not in model's training graph: " +
+                            node_iri);
+  uint32_t node;
+  if (!model->graph->FindNode(term, &node))
+    return Status::NotFound("node not in encoded graph: " + node_iri);
+  return ResolvedNode{std::move(model), node};
+}
+
+Result<std::string> InferenceManager::GetNodeClass(
+    const std::string& model_uri, const std::string& node_iri) {
+  CountCall();
+  {
+    KGNET_ASSIGN_OR_RETURN(auto model, models_->Get(model_uri));
+    if (model->bundle != nullptr) {
+      auto it = model->bundle->nc_predictions.find(node_iri);
+      if (it == model->bundle->nc_predictions.end())
+        return Status::NotFound("no prediction for node " + node_iri);
+      return it->second;
+    }
+  }
+  KGNET_ASSIGN_OR_RETURN(ResolvedNode rn, Resolve(model_uri, node_iri));
+  if (rn.model->classifier == nullptr)
+    return Status::FailedPrecondition(model_uri +
+                                      " is not a node classifier");
+  std::vector<int> pred =
+      rn.model->classifier->Predict(*rn.model->graph, {rn.node});
+  if (pred.empty() || pred[0] < 0 ||
+      static_cast<size_t>(pred[0]) >= rn.model->graph->class_terms.size())
+    return Status::NotFound("no prediction for node " + node_iri);
+  const rdf::TripleStore* enc = rn.model->EncodingStore();
+  return enc->dict().Lookup(rn.model->graph->class_terms[pred[0]]).lexical;
+}
+
+Result<std::map<std::string, std::string>>
+InferenceManager::GetNodeClassDictionary(const std::string& model_uri) {
+  CountCall();
+  KGNET_ASSIGN_OR_RETURN(auto model, models_->Get(model_uri));
+  if (model->bundle != nullptr) return model->bundle->nc_predictions;
+  if (model->classifier == nullptr)
+    return Status::FailedPrecondition(model_uri +
+                                      " is not a node classifier");
+  const rdf::TripleStore* enc = model->EncodingStore();
+  const gml::GraphData& graph = *model->graph;
+  std::vector<int> preds =
+      model->classifier->Predict(graph, graph.target_nodes);
+  std::map<std::string, std::string> out;
+  for (size_t i = 0; i < graph.target_nodes.size(); ++i) {
+    const int cls = preds[i];
+    if (cls < 0 || static_cast<size_t>(cls) >= graph.class_terms.size())
+      continue;
+    const std::string& node_iri =
+        enc->dict().Lookup(graph.node_terms[graph.target_nodes[i]]).lexical;
+    out[node_iri] = enc->dict().Lookup(graph.class_terms[cls]).lexical;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> InferenceManager::GetTopKLinks(
+    const std::string& model_uri, const std::string& node_iri, size_t k) {
+  CountCall();
+  {
+    KGNET_ASSIGN_OR_RETURN(auto model, models_->Get(model_uri));
+    const std::shared_ptr<ServingBundle>& b = model->bundle;
+    if (b != nullptr) {
+      if (b->embed_dim == 0)
+        return Status::FailedPrecondition(model_uri +
+                                          " is not a link predictor");
+      auto sit = std::find(b->node_iris.begin(), b->node_iris.end(),
+                           node_iri);
+      if (sit == b->node_iris.end())
+        return Status::NotFound("node not in model bundle: " + node_iri);
+      const size_t src = static_cast<size_t>(sit - b->node_iris.begin());
+      std::vector<std::pair<float, uint32_t>> scored;
+      const std::vector<uint32_t>* pool = &b->destination_rows;
+      std::vector<uint32_t> all_rows;
+      if (pool->empty()) {
+        all_rows.resize(b->node_iris.size());
+        for (uint32_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+        pool = &all_rows;
+      }
+      for (uint32_t row : *pool)
+        scored.emplace_back(ServingScore(*b, src, row), row);
+      const size_t kk = std::min(k, scored.size());
+      std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                        [](const auto& a, const auto& c) {
+                          return a.first > c.first;
+                        });
+      std::vector<std::string> out;
+      for (size_t i = 0; i < kk; ++i)
+        out.push_back(b->node_iris[scored[i].second]);
+      return out;
+    }
+  }
+  KGNET_ASSIGN_OR_RETURN(ResolvedNode rn, Resolve(model_uri, node_iri));
+  if (rn.model->predictor == nullptr)
+    return Status::FailedPrecondition(model_uri + " is not a link predictor");
+  const gml::GraphData& graph = *rn.model->graph;
+  if (graph.task_relation == UINT32_MAX)
+    return Status::FailedPrecondition("model has no task relation");
+  const rdf::TripleStore* enc = rn.model->EncodingStore();
+
+  // Rank candidate tails; restrict to instances of the destination type
+  // when the metadata specifies one.
+  TermId dest_type = rn.model->info.destination_type_iri.empty()
+                         ? kNullTermId
+                         : enc->dict().FindIri(
+                               rn.model->info.destination_type_iri);
+  TermId type_pred = enc->dict().FindIri(rdf::kRdfType);
+  std::vector<uint32_t> ranked = rn.model->predictor->TopKTails(
+      rn.node, graph.task_relation,
+      dest_type == kNullTermId ? k : graph.num_nodes);
+  std::vector<std::string> out;
+  for (uint32_t t : ranked) {
+    if (out.size() >= k) break;
+    TermId term = graph.node_terms[t];
+    if (dest_type != kNullTermId &&
+        !enc->Contains(rdf::Triple(term, type_pred, dest_type)))
+      continue;
+    out.push_back(enc->dict().Lookup(term).lexical);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> InferenceManager::GetSimilarEntities(
+    const std::string& model_uri, const std::string& node_iri, size_t k) {
+  CountCall();
+  {
+    KGNET_ASSIGN_OR_RETURN(auto model, models_->Get(model_uri));
+    const std::shared_ptr<ServingBundle>& b = model->bundle;
+    if (b != nullptr) {
+      if (model->embeddings == nullptr)
+        return Status::FailedPrecondition(model_uri +
+                                          " has no embedding store");
+      auto sit = std::find(b->node_iris.begin(), b->node_iris.end(),
+                           node_iri);
+      if (sit == b->node_iris.end())
+        return Status::NotFound("node not in model bundle: " + node_iri);
+      const size_t src = static_cast<size_t>(sit - b->node_iris.begin());
+      std::vector<float> query(
+          b->embeddings.begin() + src * b->embed_dim,
+          b->embeddings.begin() + (src + 1) * b->embed_dim);
+      std::vector<std::string> out;
+      for (const SearchHit& hit : model->embeddings->SearchIvf(query, k + 1)) {
+        if (hit.id == src) continue;
+        if (out.size() >= k) break;
+        out.push_back(b->node_iris[hit.id]);
+      }
+      return out;
+    }
+  }
+  KGNET_ASSIGN_OR_RETURN(ResolvedNode rn, Resolve(model_uri, node_iri));
+  if (rn.model->embeddings == nullptr)
+    return Status::FailedPrecondition(model_uri +
+                                      " has no embedding store");
+  std::vector<float> query =
+      rn.model->predictor != nullptr
+          ? rn.model->predictor->EntityEmbedding(rn.node)
+          : std::vector<float>();
+  if (query.size() != rn.model->embeddings->dim())
+    return Status::Internal("embedding dimension mismatch");
+  const rdf::TripleStore* enc = rn.model->EncodingStore();
+  std::vector<std::string> out;
+  for (const SearchHit& hit :
+       rn.model->embeddings->SearchIvf(query, k + 1)) {
+    const uint32_t node = static_cast<uint32_t>(hit.id);
+    if (node == rn.node) continue;  // skip self
+    if (out.size() >= k) break;
+    out.push_back(
+        enc->dict().Lookup(rn.model->graph->node_terms[node]).lexical);
+  }
+  return out;
+}
+
+}  // namespace kgnet::core

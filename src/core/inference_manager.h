@@ -1,0 +1,74 @@
+// GML inference manager: the GMLaaS inference endpoint of Figure 3.
+//
+// In the paper the RDF engine reaches trained models through HTTP calls to
+// a RESTful service; the number of calls dominates SPARQL-ML execution cost
+// (Section IV-B3). Here each public method is one simulated API call: it
+// increments a call counter and can add a configurable per-call latency so
+// the query-optimizer benchmarks reproduce the Figure 11 vs Figure 12
+// trade-off faithfully.
+#ifndef KGNET_CORE_INFERENCE_MANAGER_H_
+#define KGNET_CORE_INFERENCE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model_store.h"
+
+namespace kgnet::core {
+
+/// Serves predictions from stored models; counts simulated HTTP calls.
+class InferenceManager {
+ public:
+  explicit InferenceManager(ModelStore* models) : models_(models) {}
+
+  /// Predicted class IRI for one node (one API call).
+  Result<std::string> GetNodeClass(const std::string& model_uri,
+                                   const std::string& node_iri);
+
+  /// Predicted class IRIs for every target node of the model (one API
+  /// call returning the whole dictionary — the Figure 12 plan).
+  Result<std::map<std::string, std::string>> GetNodeClassDictionary(
+      const std::string& model_uri);
+
+  /// Top-k predicted destination IRIs for one source node (one API call).
+  Result<std::vector<std::string>> GetTopKLinks(const std::string& model_uri,
+                                                const std::string& node_iri,
+                                                size_t k);
+
+  /// Top-k most similar entities by embedding distance (one API call).
+  Result<std::vector<std::string>> GetSimilarEntities(
+      const std::string& model_uri, const std::string& node_iri, size_t k);
+
+  /// Number of simulated HTTP calls since the last reset.
+  uint64_t http_calls() const { return http_calls_; }
+  void ResetCounters() { http_calls_ = 0; }
+
+  /// Simulated per-call latency in microseconds added to every call's
+  /// accounting (not slept; accumulated in simulated_latency_us()).
+  void set_per_call_latency_us(double us) { per_call_latency_us_ = us; }
+  double simulated_latency_us() const { return simulated_latency_us_; }
+
+ private:
+  struct ResolvedNode {
+    std::shared_ptr<TrainedModel> model;
+    uint32_t node = 0;
+  };
+  Result<ResolvedNode> Resolve(const std::string& model_uri,
+                               const std::string& node_iri);
+  void CountCall() {
+    ++http_calls_;
+    simulated_latency_us_ += per_call_latency_us_;
+  }
+
+  ModelStore* models_;
+  uint64_t http_calls_ = 0;
+  double per_call_latency_us_ = 0.0;
+  double simulated_latency_us_ = 0.0;
+};
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_INFERENCE_MANAGER_H_

@@ -1,0 +1,104 @@
+// KGMeta: the RDF graph of trained-model metadata (paper Figure 7).
+//
+// Every trained model is described by triples in a dedicated TripleStore —
+// its task type, target/label (NC) or source/destination (LP) nodes, the
+// GML method, the sampler configuration, and the optimizer statistics
+// (accuracy, inference time, cardinality). The SPARQL-ML optimizer reads
+// this graph to pick a model for a user-defined predicate, and the KGMeta
+// governor keeps it in sync as models are added and deleted.
+#ifndef KGNET_CORE_KGMETA_H_
+#define KGNET_CORE_KGMETA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gml/model.h"
+#include "rdf/triple_store.h"
+
+namespace kgnet::core {
+
+/// The kgnet: vocabulary.
+inline constexpr char kKgnetNs[] = "https://www.kgnet.com/";
+
+struct KgnetVocab {
+  static std::string Name(const std::string& n) {
+    return std::string(kKgnetNs) + n;
+  }
+  static std::string NodeClassifier() { return Name("NodeClassifier"); }
+  static std::string LinkPredictor() { return Name("LinkPredictor"); }
+  static std::string SimilarEntities() { return Name("SimilarEntities"); }
+  static std::string TargetNode() { return Name("TargetNode"); }
+  static std::string NodeLabel() { return Name("NodeLabel"); }
+  static std::string SourceNode() { return Name("SourceNode"); }
+  static std::string DestinationNode() { return Name("DestinationNode"); }
+  static std::string TaskPredicate() { return Name("TaskPredicate"); }
+  static std::string GmlMethod() { return Name("GMLMethod"); }
+  static std::string Accuracy() { return Name("modelAccuracy"); }
+  static std::string Mrr() { return Name("mrrScore"); }
+  static std::string InferenceTime() { return Name("inferenceTimeUs"); }
+  static std::string Cardinality() { return Name("modelCardinality"); }
+  static std::string TrainTime() { return Name("trainTimeSeconds"); }
+  static std::string MemoryUsed() { return Name("trainMemoryBytes"); }
+  static std::string Sampler() { return Name("sampler"); }
+  static std::string TopKLinks() { return Name("TopK-Links"); }
+};
+
+/// Flat description of one trained model (round-trips through the RDF
+/// representation).
+struct ModelInfo {
+  std::string uri;
+  gml::TaskType task = gml::TaskType::kNodeClassification;
+  std::string method;
+  /// NC: target type and label predicate.
+  std::string target_type_iri;
+  std::string label_predicate_iri;
+  /// LP: source/destination types and task predicate.
+  std::string source_type_iri;
+  std::string destination_type_iri;
+  std::string task_predicate_iri;
+  /// Optimizer statistics.
+  double accuracy = 0.0;       // NC accuracy or LP Hits@10
+  double mrr = 0.0;
+  double inference_us = 0.0;   // mean per-instance inference latency
+  size_t cardinality = 0;      // number of instances the model can label
+  double train_seconds = 0.0;
+  size_t train_memory_bytes = 0;
+  std::string sampler_label;   // "d1h1", "full", ...
+};
+
+/// Governor of the KGMeta graph.
+class KgMeta {
+ public:
+  KgMeta() = default;
+
+  /// Adds `info` to the graph. Fails if the URI is already registered.
+  Status RegisterModel(const ModelInfo& info);
+
+  /// Removes every triple about `uri`. Returns NotFound if absent.
+  Status DeleteModel(const std::string& uri);
+
+  /// Reconstructs a ModelInfo from the graph.
+  Result<ModelInfo> Get(const std::string& uri) const;
+
+  /// All models of `task` whose NC target/label (or LP source/destination)
+  /// match the non-empty constraint fields of `pattern`.
+  std::vector<ModelInfo> FindModels(const ModelInfo& pattern) const;
+
+  /// Every registered model URI.
+  std::vector<std::string> ListModelUris() const;
+
+  size_t NumModels() const;
+
+  /// Read access for SPARQL queries over KGMeta.
+  const rdf::TripleStore& store() const { return store_; }
+  rdf::TripleStore& mutable_store() { return store_; }
+
+ private:
+  rdf::TripleStore store_;
+};
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_KGMETA_H_

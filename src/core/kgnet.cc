@@ -1,0 +1,16 @@
+#include "core/kgnet.h"
+
+#include "rdf/ntriples.h"
+
+namespace kgnet::core {
+
+Result<size_t> KgNet::LoadNTriples(std::string_view document) {
+  return rdf::LoadNTriples(document, &store_);
+}
+
+Result<sparql::QueryResult> KgNet::Execute(std::string_view text,
+                                           ExecutionStats* stats) {
+  return service_->Execute(text, stats);
+}
+
+}  // namespace kgnet::core

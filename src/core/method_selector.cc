@@ -1,0 +1,287 @@
+#include "core/method_selector.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace kgnet::core {
+
+using gml::GmlMethod;
+using gml::TaskType;
+
+namespace {
+
+/// Calibrated per-FLOP cost of this substrate's single-threaded kernels.
+constexpr double kSecondsPerFlop = 1.2e-9;
+
+/// Accuracy priors per method (heterogeneous-KG node classification /
+/// link prediction), reflecting the ordering in the paper's Figures 13-15:
+/// decoupled-scope sampling > subgraph sampling > full-batch relational >
+/// homogeneous; MorsE leads the LP methods.
+double AccuracyPrior(GmlMethod m) {
+  switch (m) {
+    case GmlMethod::kShadowSaint:
+      return 0.95;
+    case GmlMethod::kGraphSaint:
+      return 0.90;
+    case GmlMethod::kRgcn:
+      return 0.80;
+    case GmlMethod::kGcn:
+      return 0.60;
+    case GmlMethod::kGraphSage:
+      return 0.70;  // homogeneous, but sampled and regularized
+    case GmlMethod::kMorse:
+      return 0.92;
+    case GmlMethod::kComplEx:
+      return 0.85;
+    case GmlMethod::kRotatE:
+      return 0.84;
+    case GmlMethod::kTransE:
+      return 0.78;
+    case GmlMethod::kDistMult:
+      return 0.76;
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+std::vector<GmlMethod> MethodSelector::ApplicableMethods(TaskType task) {
+  switch (task) {
+    case TaskType::kNodeClassification:
+      return {GmlMethod::kGcn, GmlMethod::kGraphSage, GmlMethod::kRgcn,
+              GmlMethod::kGraphSaint, GmlMethod::kShadowSaint};
+    case TaskType::kLinkPrediction:
+    case TaskType::kEntitySimilarity:
+      return {GmlMethod::kTransE, GmlMethod::kDistMult, GmlMethod::kComplEx,
+              GmlMethod::kRotatE, GmlMethod::kMorse};
+  }
+  return {};
+}
+
+ResourceEstimate MethodSelector::Estimate(GmlMethod method,
+                                          const GraphSummary& s,
+                                          const gml::TrainConfig& config) {
+  ResourceEstimate est;
+  est.method = method;
+  est.accuracy_prior = AccuracyPrior(method);
+
+  const double n = static_cast<double>(std::max<size_t>(s.num_nodes, 1));
+  const double e = static_cast<double>(std::max<size_t>(s.num_edges, 1));
+  const double r2 = 2.0 * std::max<size_t>(s.num_relations, 1);
+  const double f = static_cast<double>(s.feature_dim);
+  const double h = static_cast<double>(config.hidden_dim);
+  const double c = static_cast<double>(std::max<size_t>(s.num_classes, 2));
+  const double d = static_cast<double>(config.embed_dim);
+  const double epochs = static_cast<double>(config.epochs);
+  constexpr double kF = 4.0;  // sizeof(float)
+
+  switch (method) {
+    case GmlMethod::kGcn: {
+      // Activations: Z0, H1, Z1 (n x f / n x h) + adjacency.
+      est.memory_bytes = static_cast<size_t>(
+          kF * (n * f * 2 + n * h * 2 + e * 2) + kF * (f * h + h * c));
+      est.seconds =
+          epochs * 2.0 * (e * (f + h) + n * (f * h + h * c)) *
+          kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kRgcn: {
+      // Cached per-relation messages dominate: 2 layers x 2R x n x dim.
+      est.memory_bytes = static_cast<size_t>(
+          kF * (r2 * n * (f + h) * 0.25 + n * (f + h) * 2 + e * 2) +
+          kF * r2 * (f * h + h * c));
+      // Per epoch: spmm over edges per relation + per-relation GEMMs on the
+      // rows each relation actually touches (~e/r2 each, min n).
+      est.seconds = epochs * 2.0 *
+                    (e * (f + h) + r2 * n * (f * h / 4.0 + h * c / 4.0) +
+                     n * (f * h + h * c)) *
+                    kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kGraphSaint: {
+      const double m = std::min(n, static_cast<double>(
+                                       config.saint_sample_nodes));
+      const double batches = std::max(1.0, n / m);
+      const double me = e * (m / n) * (m / n);  // induced edge count
+      est.memory_bytes = static_cast<size_t>(
+          kF * (r2 * m * (f + h) * 0.25 + m * (f + h) * 2 + me * 2 +
+                n * f) +
+          kF * r2 * (f * h + h * c));
+      est.seconds = epochs * batches * 2.0 *
+                    (me * (f + h) + r2 * m * (f * h / 4.0 + h * c / 4.0) +
+                     m * (f * h + h * c)) *
+                    kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kShadowSaint: {
+      const double ego =
+          static_cast<double>(config.batch_size) *
+          std::pow(static_cast<double>(config.shadow_neighbor_budget),
+                   static_cast<double>(config.shadow_hops)) *
+          0.2;  // dedup factor
+      const double m = std::min(n, ego);
+      const double batches =
+          std::max(1.0, n * 0.4 / static_cast<double>(config.batch_size));
+      const double me = std::min(e, m * 4.0);
+      est.memory_bytes = static_cast<size_t>(
+          kF * (r2 * m * (f + h) * 0.25 + m * (f + h) * 2 + me * 2 +
+                n * f) +
+          kF * r2 * (f * h + h * c));
+      est.seconds = epochs * batches * 2.0 *
+                    (me * (f + h) + r2 * m * (f * h / 4.0 + h * c / 4.0) +
+                     m * (f * h + h * c)) *
+                    kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kGraphSage: {
+      // Homogeneous two-weight layers over bounded ego-nets: the cheapest
+      // sampled GNN (no per-relation parameters or messages).
+      const double ego =
+          static_cast<double>(config.batch_size) *
+          std::pow(static_cast<double>(config.shadow_neighbor_budget),
+                   2.0) *
+          0.2;
+      const double m = std::min(n, ego);
+      const double batches =
+          std::max(1.0, n * 0.4 / static_cast<double>(config.batch_size));
+      const double me = std::min(e, m * 4.0);
+      est.memory_bytes = static_cast<size_t>(
+          kF * (m * (f + h) * 3 + me * 2 + n * f) +
+          kF * 2 * (f * h + h * c));
+      est.seconds = epochs * batches * 2.0 *
+                    (me * (f + h) + m * 2.0 * (f * h + h * c)) *
+                    kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kTransE:
+    case GmlMethod::kDistMult:
+    case GmlMethod::kComplEx:
+    case GmlMethod::kRotatE: {
+      est.memory_bytes =
+          static_cast<size_t>(kF * (n * d + r2 / 2.0 * d + e * 2));
+      const double negs = 1.0 + config.negatives_per_positive;
+      est.seconds = epochs * e * negs * d * 6.0 * kSecondsPerFlop * 2.0;
+      break;
+    }
+    case GmlMethod::kMorse: {
+      // No entity table: relation types + anchors + incident lists.
+      est.memory_bytes = static_cast<size_t>(
+          kF * (r2 * d + 4096.0 * d + d * d) + e * 8.0);
+      const double train_edges = std::max(1.0, e * 0.05);
+      const double negs = 1.0 + config.negatives_per_positive;
+      est.seconds = epochs * train_edges * negs *
+                    (2.0 * 32.0 * d + 3.0 * d * d) * kSecondsPerFlop * 2.0;
+      break;
+    }
+  }
+  return est;
+}
+
+Result<Selection> MethodSelector::Select(TaskType task,
+                                         const GraphSummary& summary,
+                                         const gml::TrainConfig& config,
+                                         const TaskBudget& budget) {
+  std::vector<GmlMethod> methods = ApplicableMethods(task);
+  if (methods.empty())
+    return Status::InvalidArgument("no methods applicable to task");
+
+  Selection sel;
+  for (GmlMethod m : methods) {
+    ResourceEstimate est = Estimate(m, summary, config);
+    est.fits_budget =
+        (budget.max_memory_bytes == 0 ||
+         est.memory_bytes <= budget.max_memory_bytes) &&
+        (budget.max_seconds == 0.0 || est.seconds <= budget.max_seconds);
+    sel.candidates.push_back(est);
+  }
+
+  auto better = [&](const ResourceEstimate& a, const ResourceEstimate& b) {
+    if (a.fits_budget != b.fits_budget) return a.fits_budget;
+    switch (budget.priority) {
+      case BudgetPriority::kModelScore:
+        if (a.accuracy_prior != b.accuracy_prior)
+          return a.accuracy_prior > b.accuracy_prior;
+        return a.seconds < b.seconds;
+      case BudgetPriority::kTime:
+        if (a.seconds != b.seconds) return a.seconds < b.seconds;
+        return a.accuracy_prior > b.accuracy_prior;
+      case BudgetPriority::kMemory:
+        if (a.memory_bytes != b.memory_bytes)
+          return a.memory_bytes < b.memory_bytes;
+        return a.accuracy_prior > b.accuracy_prior;
+    }
+    return false;
+  };
+  std::sort(sel.candidates.begin(), sel.candidates.end(), better);
+  sel.estimate = sel.candidates.front();
+  sel.method = sel.estimate.method;
+  sel.within_budget = sel.estimate.fits_budget;
+  return sel;
+}
+
+Result<ResourceEstimate> MethodSelector::Probe(GmlMethod method,
+                                               const gml::GraphData& graph,
+                                               const gml::TrainConfig& config,
+                                               size_t probe_epochs) {
+  gml::TrainConfig probe_cfg = config;
+  probe_cfg.epochs = probe_epochs;
+  probe_cfg.patience = 0;
+  gml::TrainReport report;
+  if (graph.num_classes > 0) {
+    KGNET_ASSIGN_OR_RETURN(auto model, gml::MakeNodeClassifier(method));
+    KGNET_RETURN_IF_ERROR(model->Train(graph, probe_cfg, &report));
+  } else {
+    KGNET_ASSIGN_OR_RETURN(auto model, gml::MakeLinkPredictor(method));
+    KGNET_RETURN_IF_ERROR(model->Train(graph, probe_cfg, &report));
+  }
+  ResourceEstimate est =
+      Estimate(method, GraphSummary::FromGraph(graph), config);
+  // Rescale the analytic time by the measured per-epoch cost.
+  if (report.epochs_run > 0) {
+    est.seconds = report.train_seconds / report.epochs_run * config.epochs;
+    est.memory_bytes = report.peak_memory_bytes;
+  }
+  return est;
+}
+
+Result<size_t> ParseMemoryBudget(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str())
+    return Status::InvalidArgument("bad memory budget: " + text);
+  std::string unit(end);
+  for (char& ch : unit)
+    ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  double mul = 1.0;
+  if (unit == "KB" || unit == "K") {
+    mul = 1e3;
+  } else if (unit == "MB" || unit == "M") {
+    mul = 1e6;
+  } else if (unit == "GB" || unit == "G") {
+    mul = 1e9;
+  } else if (unit == "TB" || unit == "T") {
+    mul = 1e12;
+  } else if (!unit.empty() && unit != "B") {
+    return Status::InvalidArgument("unknown memory unit: " + unit);
+  }
+  return static_cast<size_t>(v * mul);
+}
+
+Result<double> ParseTimeBudget(const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str())
+    return Status::InvalidArgument("bad time budget: " + text);
+  std::string unit(end);
+  for (char& ch : unit)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  if (unit.empty() || unit == "s" || unit == "sec" || unit == "seconds")
+    return v;
+  if (unit == "m" || unit == "min" || unit == "minutes") return v * 60.0;
+  if (unit == "h" || unit == "hr" || unit == "hours") return v * 3600.0;
+  return Status::InvalidArgument("unknown time unit: " + unit);
+}
+
+}  // namespace kgnet::core

@@ -1,0 +1,107 @@
+// Budget-aware GML method selection (paper Section IV-A, "Optimal GML
+// Method Selection").
+//
+// For each applicable method the selector predicts the training-time memory
+// footprint and wall-clock cost from the graph's dimensions using analytic
+// cost formulas (sparse-matrix sizes, GEMM flop counts, epoch counts), then
+// picks the method that maximizes an accuracy prior subject to the user's
+// memory/time budget — the small integer program of the paper solved
+// exactly by enumeration (the candidate set is tiny).
+#ifndef KGNET_CORE_METHOD_SELECTOR_H_
+#define KGNET_CORE_METHOD_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "gml/graph_data.h"
+#include "gml/model.h"
+
+namespace kgnet::core {
+
+/// What the user is optimizing for when several methods fit the budget.
+enum class BudgetPriority {
+  kModelScore,  // highest expected accuracy (paper's Priority:ModelScore)
+  kTime,        // fastest training
+  kMemory,      // smallest footprint
+};
+
+/// A training budget (0 = unconstrained), as carried by TrainGML queries.
+struct TaskBudget {
+  size_t max_memory_bytes = 0;
+  double max_seconds = 0.0;
+  BudgetPriority priority = BudgetPriority::kModelScore;
+};
+
+/// The graph dimensions that drive the cost model.
+struct GraphSummary {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_relations = 0;
+  size_t num_classes = 2;
+  size_t feature_dim = 32;
+
+  static GraphSummary FromGraph(const gml::GraphData& g) {
+    GraphSummary s;
+    s.num_nodes = g.num_nodes;
+    s.num_edges = g.edges.size();
+    s.num_relations = g.num_relations;
+    s.num_classes = g.num_classes > 0 ? g.num_classes : 2;
+    s.feature_dim = g.feature_dim;
+    return s;
+  }
+};
+
+/// Predicted cost of training one method on one graph.
+struct ResourceEstimate {
+  gml::GmlMethod method;
+  size_t memory_bytes = 0;
+  double seconds = 0.0;
+  /// Prior expected accuracy rank in [0,1]; higher = better expected score.
+  double accuracy_prior = 0.0;
+  bool fits_budget = true;
+};
+
+/// The outcome of a selection.
+struct Selection {
+  gml::GmlMethod method;
+  ResourceEstimate estimate;
+  /// All candidates considered, sorted by the chosen priority.
+  std::vector<ResourceEstimate> candidates;
+  /// False if no method satisfied the budget and the cheapest was returned.
+  bool within_budget = true;
+};
+
+/// Analytic estimator + enumerative selector.
+class MethodSelector {
+ public:
+  /// Methods applicable to `task`.
+  static std::vector<gml::GmlMethod> ApplicableMethods(gml::TaskType task);
+
+  /// Cost model for one method.
+  static ResourceEstimate Estimate(gml::GmlMethod method,
+                                   const GraphSummary& summary,
+                                   const gml::TrainConfig& config);
+
+  /// Picks the near-optimal method for `task` under `budget`.
+  static Result<Selection> Select(gml::TaskType task,
+                                  const GraphSummary& summary,
+                                  const gml::TrainConfig& config,
+                                  const TaskBudget& budget);
+
+  /// Empirical refinement: runs `probe_epochs` epochs of `method` on the
+  /// graph and rescales the analytic time estimate (paper: "running a few
+  /// epochs" on sampled matrices).
+  static Result<ResourceEstimate> Probe(gml::GmlMethod method,
+                                        const gml::GraphData& graph,
+                                        const gml::TrainConfig& config,
+                                        size_t probe_epochs = 2);
+};
+
+/// Parses budget strings like "50GB", "512MB", "1h", "90s", "15m".
+Result<size_t> ParseMemoryBudget(const std::string& text);
+Result<double> ParseTimeBudget(const std::string& text);
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_METHOD_SELECTOR_H_

@@ -1,0 +1,93 @@
+// In-memory registry of trained model artifacts (the GMLaaS "model and
+// embedding storage" of Figure 3).
+#ifndef KGNET_CORE_MODEL_STORE_H_
+#define KGNET_CORE_MODEL_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/embedding_store.h"
+#include "core/kgmeta.h"
+#include "gml/model.h"
+
+namespace kgnet::core {
+
+/// The self-contained inference payload a model can be persisted and
+/// served from (see core/model_io.h). NC models carry their prediction
+/// dictionary; LP/ES models carry aligned entity embeddings, the task
+/// relation vector and the destination-candidate rows.
+struct ServingBundle {
+  std::map<std::string, std::string> nc_predictions;
+  std::vector<std::string> node_iris;
+  size_t embed_dim = 0;
+  std::vector<float> embeddings;  // node_iris.size() x embed_dim
+  std::vector<float> task_relation;
+  std::vector<uint32_t> destination_rows;
+};
+
+/// A trained model plus everything needed to serve inference for it: the
+/// graph encoding it was trained on (node-id <-> IRI mapping lives there)
+/// and the sampled subgraph store when meta-sampling was used. Models
+/// restored from disk carry only `info` and `bundle`.
+struct TrainedModel {
+  ModelInfo info;
+  std::shared_ptr<gml::NodeClassifier> classifier;  // NC models
+  std::shared_ptr<gml::LinkPredictor> predictor;    // LP models
+  std::shared_ptr<gml::GraphData> graph;
+  /// The store `graph` was encoded from (KG' when sampled, else the data
+  /// KG). Needed to translate IRIs to graph node ids.
+  std::shared_ptr<rdf::TripleStore> subgraph;
+  const rdf::TripleStore* source_store = nullptr;
+  /// Entity embeddings for similarity search (LP models).
+  std::shared_ptr<EmbeddingStore> embeddings;
+  /// Persisted serving payload (set for models loaded from disk).
+  std::shared_ptr<ServingBundle> bundle;
+
+  const rdf::TripleStore* EncodingStore() const {
+    return subgraph != nullptr ? subgraph.get() : source_store;
+  }
+};
+
+/// Maps model URIs to trained artifacts.
+class ModelStore {
+ public:
+  /// Stores `model` under its URI; replaces any previous entry.
+  void Put(std::shared_ptr<TrainedModel> model) {
+    models_[model->info.uri] = std::move(model);
+  }
+
+  /// Fetches a model.
+  Result<std::shared_ptr<TrainedModel>> Get(const std::string& uri) const {
+    auto it = models_.find(uri);
+    if (it == models_.end())
+      return Status::NotFound("no trained model stored for " + uri);
+    return it->second;
+  }
+
+  /// Drops a model; returns NotFound when absent.
+  Status Remove(const std::string& uri) {
+    return models_.erase(uri) > 0
+               ? Status::OK()
+               : Status::NotFound("no trained model stored for " + uri);
+  }
+
+  std::vector<std::string> ListUris() const {
+    std::vector<std::string> out;
+    out.reserve(models_.size());
+    for (const auto& [uri, m] : models_) out.push_back(uri);
+    return out;
+  }
+
+  size_t size() const { return models_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<TrainedModel>> models_;
+};
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_MODEL_STORE_H_

@@ -1,0 +1,632 @@
+#include "core/sparqlml.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "core/json.h"
+#include "gml/train_util.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+
+namespace kgnet::core {
+
+using rdf::Term;
+using sparql::Expr;
+using sparql::NodeRef;
+using sparql::PatternTriple;
+using sparql::Query;
+using sparql::QueryKind;
+using sparql::QueryResult;
+
+namespace {
+
+/// UDF names used by the rewritten queries.
+constexpr char kUdfGetNodeClass[] = "sql:UDFS.getNodeClass";
+constexpr char kUdfGetNodeClassDict[] = "sql:UDFS.getNodeClassDict";
+constexpr char kUdfGetKeyValue[] = "sql:UDFS.getKeyValue";
+constexpr char kUdfGetLinkPred[] = "sql:UDFS.getLinkPred";
+constexpr char kUdfGetSimilarEntity[] = "sql:UDFS.getSimilarEntity";
+
+bool IsKgnetIri(const std::string& iri) {
+  return StartsWith(iri, kKgnetNs);
+}
+
+}  // namespace
+
+SparqlMlService::SparqlMlService(rdf::TripleStore* kg) : kg_(kg) {
+  engine_ = std::make_unique<sparql::QueryEngine>(kg_);
+  inference_ = std::make_unique<InferenceManager>(&models_);
+  training_ = std::make_unique<GmlTrainingManager>(kg_, &kgmeta_, &models_);
+  RegisterUdfs();
+}
+
+void SparqlMlService::RegisterUdfs() {
+  // Figure 11 plan: one call per instance.
+  engine_->udfs().Register(
+      kUdfGetNodeClass,
+      [this](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 2 || !args[0].is_iri() || !args[1].is_iri())
+          return Status::InvalidArgument(
+              "getNodeClass(model IRI, node IRI) expected");
+        KGNET_ASSIGN_OR_RETURN(
+            std::string cls,
+            inference_->GetNodeClass(args[0].lexical, args[1].lexical));
+        return Term::Iri(cls);
+      });
+  // Figure 12 plan: one call building the whole dictionary; returns a
+  // handle IRI the getKeyValue UDF resolves locally.
+  engine_->udfs().Register(
+      kUdfGetNodeClassDict,
+      [this](const std::vector<Term>& args) -> Result<Term> {
+        if (args.empty() || !args[0].is_iri())
+          return Status::InvalidArgument(
+              "getNodeClassDict(model IRI) expected");
+        KGNET_ASSIGN_OR_RETURN(
+            auto dict, inference_->GetNodeClassDictionary(args[0].lexical));
+        const std::string handle =
+            KgnetVocab::Name("dict/" + std::to_string(next_dict_id_++));
+        dicts_[handle] = std::move(dict);
+        return Term::Iri(handle);
+      });
+  engine_->udfs().Register(
+      kUdfGetKeyValue,
+      [this](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() != 2 || !args[0].is_iri() || !args[1].is_iri())
+          return Status::InvalidArgument(
+              "getKeyValue(dict handle, key IRI) expected");
+        auto dit = dicts_.find(args[0].lexical);
+        if (dit == dicts_.end())
+          return Status::NotFound("unknown dictionary handle " +
+                                  args[0].lexical);
+        auto vit = dit->second.find(args[1].lexical);
+        if (vit == dit->second.end()) return Term::Literal("");
+        return Term::Iri(vit->second);
+      });
+  // Entity similarity: most similar entity by embedding distance.
+  engine_->udfs().Register(
+      kUdfGetSimilarEntity,
+      [this](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() < 2 || !args[0].is_iri() || !args[1].is_iri())
+          return Status::InvalidArgument(
+              "getSimilarEntity(model IRI, node IRI[, k]) expected");
+        size_t k = 1;
+        if (args.size() >= 3) {
+          double kd = 1;
+          if (args[2].AsDouble(&kd) && kd >= 1) k = static_cast<size_t>(kd);
+        }
+        KGNET_ASSIGN_OR_RETURN(
+            auto similar,
+            inference_->GetSimilarEntities(args[0].lexical, args[1].lexical,
+                                           k));
+        if (similar.empty()) return Term::Literal("");
+        return Term::Iri(similar.back());
+      });
+  // Link prediction: top-1 predicted destination for an instance.
+  engine_->udfs().Register(
+      kUdfGetLinkPred,
+      [this](const std::vector<Term>& args) -> Result<Term> {
+        if (args.size() < 2 || !args[0].is_iri() || !args[1].is_iri())
+          return Status::InvalidArgument(
+              "getLinkPred(model IRI, node IRI[, k]) expected");
+        size_t k = 1;
+        if (args.size() >= 3) {
+          double kd = 1;
+          if (args[2].AsDouble(&kd) && kd >= 1) k = static_cast<size_t>(kd);
+        }
+        KGNET_ASSIGN_OR_RETURN(auto links,
+                               inference_->GetTopKLinks(args[0].lexical,
+                                                        args[1].lexical, k));
+        if (links.empty()) return Term::Literal("");
+        return Term::Iri(links.front());
+      });
+}
+
+Result<SparqlMlAnalysis> SparqlMlService::Analyze(const Query& query) const {
+  SparqlMlAnalysis analysis;
+  analysis.query = query;
+  const auto& triples = query.where.triples;
+
+  // Pass 1: find candidate variables — those used in predicate position
+  // whose metadata triples type them with a kgnet: class.
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const PatternTriple& t = triples[i];
+    if (!t.p.is_var) continue;
+    const std::string& var = t.p.var;
+    // Find "?var a kgnet:NodeClassifier / kgnet:LinkPredictor".
+    gml::TaskType task = gml::TaskType::kNodeClassification;
+    bool typed = false;
+    for (const PatternTriple& m : triples) {
+      if (!m.s.is_var || m.s.var != var || m.p.is_var || m.o.is_var)
+        continue;
+      if (m.p.term.lexical == rdf::kRdfType && IsKgnetIri(m.o.term.lexical)) {
+        typed = true;
+        task = m.o.term.lexical == KgnetVocab::LinkPredictor()
+                   ? gml::TaskType::kLinkPrediction
+               : m.o.term.lexical == KgnetVocab::SimilarEntities()
+                   ? gml::TaskType::kEntitySimilarity
+                   : gml::TaskType::kNodeClassification;
+      }
+    }
+    if (!typed) continue;
+
+    UserDefinedPredicate udp;
+    udp.var = var;
+    udp.task = task;
+    udp.usage_triple = i;
+    if (!t.s.is_var || !t.o.is_var)
+      return Status::Unimplemented(
+          "user-defined predicate requires variable subject and object");
+    udp.subject_var = t.s.var;
+    udp.object_var = t.o.var;
+    udp.constraints.task = task;
+
+    // Pass 2: harvest constraint triples about ?var.
+    for (size_t j = 0; j < triples.size(); ++j) {
+      const PatternTriple& m = triples[j];
+      if (!m.s.is_var || m.s.var != var) continue;
+      if (j == i) continue;
+      udp.meta_triples.push_back(j);
+      if (m.p.is_var) continue;
+      const std::string& pred = m.p.term.lexical;
+      const std::string value = m.o.is_var ? "" : m.o.term.lexical;
+      if (pred == KgnetVocab::TargetNode()) {
+        if (task == gml::TaskType::kNodeClassification) {
+          udp.constraints.target_type_iri = value;
+        } else {
+          udp.constraints.source_type_iri = value;
+        }
+      } else if (pred == KgnetVocab::NodeLabel()) {
+        udp.constraints.label_predicate_iri = value;
+      } else if (pred == KgnetVocab::SourceNode()) {
+        udp.constraints.source_type_iri = value;
+      } else if (pred == KgnetVocab::DestinationNode()) {
+        udp.constraints.destination_type_iri = value;
+      } else if (pred == KgnetVocab::TaskPredicate()) {
+        udp.constraints.task_predicate_iri = value;
+      } else if (pred == KgnetVocab::TopKLinks()) {
+        if (!m.o.is_var) {
+          double k = 1;
+          if (m.o.term.AsDouble(&k) && k >= 1)
+            udp.topk = static_cast<size_t>(k);
+        }
+      }
+    }
+    analysis.udps.push_back(std::move(udp));
+  }
+  return analysis;
+}
+
+Result<ModelInfo> SparqlMlService::SelectModel(
+    const UserDefinedPredicate& udp) const {
+  std::vector<ModelInfo> candidates = kgmeta_.FindModels(udp.constraints);
+  if (candidates.empty())
+    return Status::NotFound(
+        "no trained model in KGMeta matches predicate ?" + udp.var);
+  // The optimizer's objective (Section IV-B3): maximize accuracy; among
+  // models within 1% of the best accuracy, minimize inference time. This is
+  // the exact solution of the 0/1 selection program for a single predicate.
+  double best_acc = 0.0;
+  for (const ModelInfo& m : candidates) best_acc = std::max(best_acc, m.accuracy);
+  const ModelInfo* best = nullptr;
+  for (const ModelInfo& m : candidates) {
+    if (m.accuracy + 0.01 < best_acc) continue;
+    if (best == nullptr || m.inference_us < best->inference_us) best = &m;
+  }
+  return *best;
+}
+
+RewritePlan SparqlMlService::ChoosePlan(const SparqlMlAnalysis& analysis,
+                                        const UserDefinedPredicate& udp,
+                                        const ModelInfo& model) const {
+  // Estimate the number of instances the subject variable binds to: the
+  // cardinality of its most selective non-meta triple pattern.
+  size_t instances = SIZE_MAX;
+  const auto& triples = analysis.query.where.triples;
+  for (size_t j = 0; j < triples.size(); ++j) {
+    if (j == udp.usage_triple) continue;
+    const PatternTriple& t = triples[j];
+    if (!t.s.is_var || t.s.var != udp.subject_var) continue;
+    rdf::TriplePattern p;
+    if (!t.p.is_var) p.p = kg_->dict().Find(t.p.term);
+    if (!t.o.is_var) p.o = kg_->dict().Find(t.o.term);
+    instances = std::min(instances, kg_->EstimateCardinality(p));
+  }
+  if (instances == SIZE_MAX) instances = model.cardinality;
+
+  // Cost model: per-instance = |instances| HTTP calls; dictionary = 1 call
+  // + |model.cardinality| dictionary entries whose local lookup is ~1000x
+  // cheaper than an HTTP round trip.
+  const double call_cost = 1000.0;
+  const double per_instance = static_cast<double>(instances) * call_cost;
+  const double dictionary =
+      call_cost + static_cast<double>(model.cardinality);
+  return per_instance <= dictionary ? RewritePlan::kPerInstance
+                                    : RewritePlan::kDictionary;
+}
+
+Result<Query> SparqlMlService::Rewrite(const SparqlMlAnalysis& analysis,
+                                       const UserDefinedPredicate& udp,
+                                       const ModelInfo& model,
+                                       RewritePlan plan) const {
+  Query out = analysis.query;
+
+  // Strip the usage triple and every metadata triple.
+  std::vector<bool> drop(out.where.triples.size(), false);
+  drop[udp.usage_triple] = true;
+  for (size_t j : udp.meta_triples) drop[j] = true;
+  std::vector<PatternTriple> kept;
+  for (size_t j = 0; j < out.where.triples.size(); ++j)
+    if (!drop[j]) kept.push_back(out.where.triples[j]);
+  out.where.triples = std::move(kept);
+
+  // Replace projections of the object variable with the UDF expression.
+  auto make_projection = [&]() -> sparql::SelectItem {
+    sparql::SelectItem item;
+    item.alias = udp.object_var;
+    if (udp.task == gml::TaskType::kLinkPrediction) {
+      item.expr = Expr::Call(
+          kUdfGetLinkPred,
+          {Expr::Const(Term::Iri(model.uri)), Expr::Var(udp.subject_var),
+           Expr::Const(Term::IntLiteral(static_cast<int64_t>(udp.topk)))});
+    } else if (udp.task == gml::TaskType::kEntitySimilarity) {
+      item.expr = Expr::Call(
+          kUdfGetSimilarEntity,
+          {Expr::Const(Term::Iri(model.uri)), Expr::Var(udp.subject_var),
+           Expr::Const(Term::IntLiteral(static_cast<int64_t>(udp.topk)))});
+    } else if (plan == RewritePlan::kPerInstance) {
+      // Figure 11: sql:UDFS.getNodeClass($m, ?paper) AS ?venue
+      item.expr = Expr::Call(kUdfGetNodeClass,
+                             {Expr::Const(Term::Iri(model.uri)),
+                              Expr::Var(udp.subject_var)});
+    } else {
+      // Figure 12: inner sub-select builds ?venues_dic once, then
+      // sql:UDFS.getKeyValue(?venues_dic, ?paper) AS ?venue.
+      item.expr = Expr::Call(
+          kUdfGetKeyValue,
+          {Expr::Var(udp.object_var + "_dic"), Expr::Var(udp.subject_var)});
+    }
+    return item;
+  };
+
+  bool replaced = false;
+  for (auto& item : out.select) {
+    if (item.expr->op == sparql::ExprOp::kVar &&
+        item.expr->var == udp.object_var) {
+      const std::string alias = item.alias;
+      item = make_projection();
+      item.alias = alias;
+      replaced = true;
+    }
+  }
+  if (out.select_all) {
+    return Status::Unimplemented(
+        "SELECT * with user-defined predicates is not supported; project "
+        "explicit variables");
+  }
+  if (!replaced) {
+    // Object var not projected: still evaluate the UDF so the pattern's
+    // semantics (prediction exists) are preserved.
+    out.select.push_back(make_projection());
+  }
+
+  if (udp.task == gml::TaskType::kNodeClassification &&
+      plan == RewritePlan::kDictionary) {
+    // Add the inner sub-select: { SELECT getNodeClassDict($m) AS ?o_dic
+    // WHERE { } }
+    auto sub = std::make_shared<Query>();
+    sub->kind = QueryKind::kSelect;
+    sub->prefixes = out.prefixes;
+    sparql::SelectItem dict_item;
+    dict_item.alias = udp.object_var + "_dic";
+    dict_item.expr =
+        Expr::Call(kUdfGetNodeClassDict, {Expr::Const(Term::Iri(model.uri))});
+    sub->select.push_back(std::move(dict_item));
+    out.where.subselects.push_back(std::move(sub));
+  }
+  return out;
+}
+
+Result<QueryResult> SparqlMlService::ExecuteSelectMl(
+    const SparqlMlAnalysis& analysis, RewritePlan forced_plan,
+    bool use_forced, ExecutionStats* stats) {
+  gml::Stopwatch opt_timer;
+  Query rewritten = analysis.query;
+  RewritePlan chosen = RewritePlan::kPerInstance;
+  std::string model_uri;
+
+  // Rewrite iteratively, one user-defined predicate at a time. Analysis
+  // indexes refer to the current query, so re-analyze after each rewrite.
+  Query current = analysis.query;
+  while (true) {
+    KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis a, Analyze(current));
+    if (!a.is_sparql_ml()) break;
+    const UserDefinedPredicate& udp = a.udps.front();
+    KGNET_ASSIGN_OR_RETURN(ModelInfo model, SelectModel(udp));
+    chosen = use_forced ? forced_plan : ChoosePlan(a, udp, model);
+    model_uri = model.uri;
+    KGNET_ASSIGN_OR_RETURN(current, Rewrite(a, udp, model, chosen));
+  }
+  const double opt_seconds = opt_timer.Seconds();
+
+  gml::Stopwatch exec_timer;
+  const uint64_t calls_before = inference_->http_calls();
+  KGNET_ASSIGN_OR_RETURN(QueryResult result, engine_->Execute(current));
+  if (stats != nullptr) {
+    stats->plan = chosen;
+    stats->http_calls = inference_->http_calls() - calls_before;
+    stats->chosen_model_uri = model_uri;
+    stats->optimizer_seconds = opt_seconds;
+    stats->execution_seconds = exec_timer.Seconds();
+    stats->dictionary_entries = 0;
+    if (chosen == RewritePlan::kDictionary && !dicts_.empty())
+      stats->dictionary_entries = dicts_.rbegin()->second.size();
+  }
+  return result;
+}
+
+Result<QueryResult> SparqlMlService::Execute(std::string_view text,
+                                             ExecutionStats* stats) {
+  if (text.find("TrainGML") != std::string_view::npos)
+    return ExecuteTrainGml(text);
+  KGNET_ASSIGN_OR_RETURN(Query query, sparql::ParseQuery(text));
+  if (query.kind == QueryKind::kDeleteWhere) {
+    // kgnet: metadata deletes manage models; anything else runs on the KG.
+    bool targets_kgmeta = false;
+    for (const PatternTriple& t : query.where.triples)
+      if (!t.o.is_var && IsKgnetIri(t.o.term.lexical)) targets_kgmeta = true;
+    if (targets_kgmeta) return ExecuteDelete(query);
+  }
+  KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis analysis, Analyze(query));
+  if (!analysis.is_sparql_ml()) return engine_->Execute(query);
+  return ExecuteSelectMl(analysis, RewritePlan::kPerInstance, false, stats);
+}
+
+Result<SparqlMlService::ExplainResult> SparqlMlService::Explain(
+    std::string_view text) const {
+  KGNET_ASSIGN_OR_RETURN(Query query, sparql::ParseQuery(text));
+  ExplainResult out;
+  Query current = query;
+  while (true) {
+    KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis a, Analyze(current));
+    if (!a.is_sparql_ml()) break;
+    out.is_sparql_ml = true;
+    const UserDefinedPredicate& udp = a.udps.front();
+    KGNET_ASSIGN_OR_RETURN(ModelInfo model, SelectModel(udp));
+    out.plan = ChoosePlan(a, udp, model);
+    out.model_uris.push_back(model.uri);
+    KGNET_ASSIGN_OR_RETURN(current, Rewrite(a, udp, model, out.plan));
+  }
+  out.rewritten_sparql = sparql::SerializeQuery(current);
+  return out;
+}
+
+Result<QueryResult> SparqlMlService::ExecuteWithPlan(std::string_view text,
+                                                     RewritePlan plan,
+                                                     ExecutionStats* stats) {
+  KGNET_ASSIGN_OR_RETURN(Query query, sparql::ParseQuery(text));
+  KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis analysis, Analyze(query));
+  if (!analysis.is_sparql_ml()) return engine_->Execute(query);
+  return ExecuteSelectMl(analysis, plan, true, stats);
+}
+
+Result<TrainTaskSpec> SparqlMlService::ParseTrainSpec(
+    const std::string& json_text,
+    const std::map<std::string, std::string>& prefixes) const {
+  KGNET_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json_text));
+  if (!root.is_object())
+    return Status::InvalidArgument("TrainGML payload must be a JSON object");
+
+  auto resolve = [&prefixes](const std::string& name) -> std::string {
+    if (name.empty() || name.find("://") != std::string::npos) return name;
+    const size_t colon = name.find(':');
+    if (colon == std::string::npos) return name;
+    auto it = prefixes.find(name.substr(0, colon));
+    if (it == prefixes.end()) return name;
+    return it->second + name.substr(colon + 1);
+  };
+
+  TrainTaskSpec spec;
+  spec.model_name = root.GetString("Name");
+
+  const JsonValue* task = root.FindRelaxed("GML-Task");
+  if (task == nullptr || !task->is_object())
+    return Status::InvalidArgument("TrainGML payload requires GML-Task{}");
+  const std::string task_type = resolve(task->GetString("TaskType"));
+  if (task_type == KgnetVocab::SimilarEntities() ||
+      task_type.find("SimilarEntities") != std::string::npos) {
+    spec.task = gml::TaskType::kEntitySimilarity;
+    spec.target_type_iri = resolve(task->GetString("SourceNode"));
+    if (spec.target_type_iri.empty())
+      spec.target_type_iri = resolve(task->GetString("TargetNode"));
+    spec.destination_type_iri = resolve(task->GetString("DestinationNode"));
+    spec.task_predicate_iri = resolve(task->GetString("TaskPredicate"));
+  } else if (task_type == KgnetVocab::LinkPredictor() ||
+             task_type.find("LinkPredictor") != std::string::npos) {
+    spec.task = gml::TaskType::kLinkPrediction;
+    spec.target_type_iri = resolve(task->GetString("SourceNode"));
+    spec.destination_type_iri = resolve(task->GetString("DestinationNode"));
+    spec.task_predicate_iri = resolve(task->GetString("TaskPredicate"));
+    if (spec.task_predicate_iri.empty())
+      spec.task_predicate_iri = resolve(task->GetString("NodeLabel"));
+  } else {
+    spec.task = gml::TaskType::kNodeClassification;
+    spec.target_type_iri = resolve(task->GetString("TargetNode"));
+    spec.label_predicate_iri = resolve(task->GetString("NodeLabel"));
+    if (spec.label_predicate_iri.empty())
+      spec.label_predicate_iri = resolve(task->GetString("NodeLable"));
+  }
+
+  if (const JsonValue* budget = root.FindRelaxed("TaskBudget");
+      budget != nullptr && budget->is_object()) {
+    const std::string mem = budget->GetString("MaxMemory");
+    if (!mem.empty()) {
+      KGNET_ASSIGN_OR_RETURN(spec.budget.max_memory_bytes,
+                             ParseMemoryBudget(mem));
+    }
+    const std::string time = budget->GetString("MaxTime");
+    if (!time.empty()) {
+      KGNET_ASSIGN_OR_RETURN(spec.budget.max_seconds, ParseTimeBudget(time));
+    }
+    const std::string prio = budget->GetString("Priority");
+    if (prio == "Time") {
+      spec.budget.priority = BudgetPriority::kTime;
+    } else if (prio == "Memory") {
+      spec.budget.priority = BudgetPriority::kMemory;
+    } else {
+      spec.budget.priority = BudgetPriority::kModelScore;
+    }
+  }
+
+  if (const JsonValue* hp = root.FindRelaxed("Hyperparameters");
+      hp != nullptr && hp->is_object()) {
+    spec.config.epochs = static_cast<size_t>(
+        hp->GetNumber("Epochs", static_cast<double>(spec.config.epochs)));
+    spec.config.lr = static_cast<float>(
+        hp->GetNumber("LearningRate", spec.config.lr));
+    spec.config.hidden_dim = static_cast<size_t>(hp->GetNumber(
+        "HiddenDim", static_cast<double>(spec.config.hidden_dim)));
+    spec.config.embed_dim = static_cast<size_t>(hp->GetNumber(
+        "EmbedDim", static_cast<double>(spec.config.embed_dim)));
+    spec.config.patience = static_cast<size_t>(hp->GetNumber(
+        "Patience", static_cast<double>(spec.config.patience)));
+  }
+
+  const std::string method = root.GetString("Method");
+  if (!method.empty()) {
+    const std::string lower = AsciiToLower(method);
+    if (lower == "gcn") spec.forced_method = gml::GmlMethod::kGcn;
+    else if (lower == "rgcn") spec.forced_method = gml::GmlMethod::kRgcn;
+    else if (lower == "graphsaint" || lower == "graph-saint")
+      spec.forced_method = gml::GmlMethod::kGraphSaint;
+    else if (lower == "shadowsaint" || lower == "shadow-saint")
+      spec.forced_method = gml::GmlMethod::kShadowSaint;
+    else if (lower == "graphsage" || lower == "graph-sage" || lower == "sage")
+      spec.forced_method = gml::GmlMethod::kGraphSage;
+    else if (lower == "morse") spec.forced_method = gml::GmlMethod::kMorse;
+    else if (lower == "transe") spec.forced_method = gml::GmlMethod::kTransE;
+    else if (lower == "distmult")
+      spec.forced_method = gml::GmlMethod::kDistMult;
+    else if (lower == "complex")
+      spec.forced_method = gml::GmlMethod::kComplEx;
+    else if (lower == "rotate") spec.forced_method = gml::GmlMethod::kRotatE;
+    else return Status::InvalidArgument("unknown GML method: " + method);
+  }
+
+  if (const JsonValue* sampling = root.FindRelaxed("MetaSampling");
+      sampling != nullptr && sampling->is_object()) {
+    const double d = sampling->GetNumber("Direction", 0);
+    if (d == 1) spec.direction = SampleDirection::kOutgoing;
+    if (d == 2) spec.direction = SampleDirection::kBidirectional;
+    spec.hops = static_cast<uint32_t>(sampling->GetNumber("Hops", 1));
+    const JsonValue* enabled = sampling->FindRelaxed("Enabled");
+    if (enabled != nullptr && enabled->kind() == JsonValue::Kind::kBool)
+      spec.use_meta_sampling = enabled->AsBool();
+  }
+  return spec;
+}
+
+Result<QueryResult> SparqlMlService::ExecuteTrainGml(std::string_view text) {
+  // Extract prefixes from the prologue (the full query may not parse as
+  // standard SPARQL, so scan for PREFIX declarations directly).
+  std::map<std::string, std::string> prefixes;
+  {
+    std::string lower;
+    for (char c : text)
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    size_t pos = 0;
+    while ((pos = lower.find("prefix", pos)) != std::string::npos) {
+      size_t name_start = pos + 6;
+      while (name_start < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[name_start])))
+        ++name_start;
+      size_t colon = text.find(':', name_start);
+      size_t lt = text.find('<', colon);
+      size_t gt = text.find('>', lt);
+      if (colon == std::string::npos || lt == std::string::npos ||
+          gt == std::string::npos)
+        break;
+      std::string prefix(
+          StripWhitespace(text.substr(name_start, colon - name_start)));
+      prefixes[prefix] = std::string(text.substr(lt + 1, gt - lt - 1));
+      pos = gt;
+    }
+  }
+
+  // Extract the balanced-parenthesis argument of TrainGML(...).
+  const size_t fn = text.find("TrainGML");
+  size_t open = text.find('(', fn);
+  if (open == std::string_view::npos)
+    return Status::ParseError("TrainGML requires a parenthesized payload");
+  int depth = 0;
+  size_t close = open;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')') {
+      --depth;
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+    }
+  }
+  if (close == open)
+    return Status::ParseError("unbalanced parentheses in TrainGML payload");
+  const std::string payload(
+      StripWhitespace(text.substr(open + 1, close - open - 1)));
+
+  KGNET_ASSIGN_OR_RETURN(TrainTaskSpec spec,
+                         ParseTrainSpec(payload, prefixes));
+  KGNET_ASSIGN_OR_RETURN(TrainOutcome outcome, training_->TrainTask(spec));
+
+  // The INSERT materializes the model's KGMeta triples; report them.
+  QueryResult result;
+  result.columns = {"model", "metric", "method"};
+  result.rows.push_back({Term::Iri(outcome.model_uri),
+                         Term::DoubleLiteral(outcome.report.metric),
+                         Term::Literal(outcome.report.method)});
+  result.num_inserted = kgmeta_.store().size();
+  return result;
+}
+
+Result<QueryResult> SparqlMlService::ExecuteDelete(const Query& query) {
+  // Evaluate the WHERE clause against the KGMeta graph to find the model
+  // URIs, then delete their metadata and artifacts.
+  sparql::QueryEngine meta_engine(&kgmeta_.mutable_store());
+  Query select;
+  select.kind = QueryKind::kSelect;
+  select.prefixes = query.prefixes;
+  select.where = query.where;
+  select.distinct = true;
+  // Project the subject variable of the first template triple.
+  std::string model_var;
+  if (!query.update_template.empty() && query.update_template[0].s.is_var) {
+    model_var = query.update_template[0].s.var;
+  } else if (!query.where.triples.empty() &&
+             query.where.triples[0].s.is_var) {
+    model_var = query.where.triples[0].s.var;
+  } else {
+    return Status::InvalidArgument(
+        "DELETE over kgnet: metadata requires a model variable");
+  }
+  sparql::SelectItem item;
+  item.expr = Expr::Var(model_var);
+  item.alias = model_var;
+  select.select.push_back(std::move(item));
+
+  KGNET_ASSIGN_OR_RETURN(QueryResult found, meta_engine.Execute(select));
+  QueryResult result;
+  for (const auto& row : found.rows) {
+    if (row.empty() || !row[0].is_iri()) continue;
+    const std::string& uri = row[0].lexical;
+    Status st = kgmeta_.DeleteModel(uri);
+    if (st.ok()) {
+      (void)models_.Remove(uri);
+      ++result.num_deleted;
+    }
+  }
+  return result;
+}
+
+}  // namespace kgnet::core

@@ -1,0 +1,167 @@
+// SPARQL-ML as a Service (paper Section IV-B): the query manager that
+// parses, optimizes, rewrites and executes GML-enabled SPARQL queries.
+//
+// A SPARQL-ML SELECT is ordinary SPARQL whose pattern contains a variable
+// in *predicate position* — a user-defined predicate — typed by kgnet:
+// metadata triples:
+//
+//     ?paper ?NodeClassifier ?venue .
+//     ?NodeClassifier a kgnet:NodeClassifier .
+//     ?NodeClassifier kgnet:TargetNode dblp:Publication .
+//     ?NodeClassifier kgnet:NodeLabel dblp:venue .
+//
+// Execution:
+//  1. Analyze: find user-defined predicates and their constraint triples.
+//  2. Optimize: select the near-optimal model from KGMeta (the paper's
+//     integer program; solved exactly by enumeration over the candidate
+//     set) and pick an execution plan — per-instance UDF calls (Figure 11)
+//     or a single dictionary-building call (Figure 12) — by comparing the
+//     estimated number of HTTP calls with the dictionary size.
+//  3. Rewrite into plain SPARQL with sql:UDFS.* calls.
+//  4. Execute on the RDF engine; UDFs hit the GML inference manager.
+//
+// INSERT queries containing kgnet.TrainGML({...}) trigger the automated
+// training pipeline; DELETE queries over kgnet: metadata drop models.
+#ifndef KGNET_CORE_SPARQLML_H_
+#define KGNET_CORE_SPARQLML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/inference_manager.h"
+#include "core/kgmeta.h"
+#include "core/model_store.h"
+#include "core/training_manager.h"
+#include "sparql/engine.h"
+
+namespace kgnet::core {
+
+/// Which rewritten query template the optimizer chose.
+enum class RewritePlan {
+  kPerInstance,  // Figure 11: one UDF call per bound instance
+  kDictionary,   // Figure 12: one UDF call building a lookup dictionary
+};
+
+/// One user-defined predicate occurrence inside a query.
+struct UserDefinedPredicate {
+  std::string var;          // variable appearing in predicate position
+  gml::TaskType task = gml::TaskType::kNodeClassification;
+  size_t usage_triple = 0;  // index of "?s ?udp ?o" in where.triples
+  std::string subject_var;
+  std::string object_var;
+  /// Constraints harvested from kgnet: triples.
+  ModelInfo constraints;
+  size_t topk = 1;  // kgnet:TopK-Links for link predictors
+  /// Indexes of all metadata triples to strip during rewriting.
+  std::vector<size_t> meta_triples;
+};
+
+/// The analysis of a SPARQL-ML query.
+struct SparqlMlAnalysis {
+  sparql::Query query;
+  std::vector<UserDefinedPredicate> udps;
+  bool is_sparql_ml() const { return !udps.empty(); }
+};
+
+/// Statistics of one executed SPARQL-ML query (for benchmarks).
+struct ExecutionStats {
+  RewritePlan plan = RewritePlan::kPerInstance;
+  uint64_t http_calls = 0;
+  size_t dictionary_entries = 0;
+  std::string chosen_model_uri;
+  double optimizer_seconds = 0.0;
+  double execution_seconds = 0.0;
+};
+
+/// The SPARQL-ML query service bound to one data KG.
+class SparqlMlService {
+ public:
+  /// `kg` must outlive the service. The service owns the SPARQL engine,
+  /// KGMeta, model store, inference and training managers.
+  explicit SparqlMlService(rdf::TripleStore* kg);
+
+  /// Parses and executes any SPARQL or SPARQL-ML query.
+  Result<sparql::QueryResult> Execute(std::string_view text,
+                                      ExecutionStats* stats = nullptr);
+
+  /// Forces a specific plan (benchmarks); kAuto = optimizer decides.
+  Result<sparql::QueryResult> ExecuteWithPlan(std::string_view text,
+                                              RewritePlan plan,
+                                              ExecutionStats* stats);
+
+  // --- individual pipeline stages, exposed for tests and benches ---
+
+  /// Finds user-defined predicates in a parsed query.
+  Result<SparqlMlAnalysis> Analyze(const sparql::Query& query) const;
+
+  /// The optimizer's model selection for one user-defined predicate:
+  /// maximizes accuracy, breaking ties by lower inference time (the
+  /// paper's integer program over KGMeta statistics).
+  Result<ModelInfo> SelectModel(const UserDefinedPredicate& udp) const;
+
+  /// Chooses the plan by cost: per-instance costs |instances| calls;
+  /// dictionary costs 1 call plus a dictionary of `model.cardinality`
+  /// entries.
+  RewritePlan ChoosePlan(const SparqlMlAnalysis& analysis,
+                         const UserDefinedPredicate& udp,
+                         const ModelInfo& model) const;
+
+  /// Rewrites the SPARQL-ML query into plain SPARQL for (udp, model, plan).
+  Result<sparql::Query> Rewrite(const SparqlMlAnalysis& analysis,
+                                const UserDefinedPredicate& udp,
+                                const ModelInfo& model,
+                                RewritePlan plan) const;
+
+  // --- service components ---
+  GmlTrainingManager& training_manager() { return *training_; }
+  InferenceManager& inference_manager() { return *inference_; }
+  KgMeta& kgmeta() { return kgmeta_; }
+  ModelStore& model_store() { return models_; }
+  sparql::QueryEngine& engine() { return *engine_; }
+
+  /// Parses a TrainGML JSON payload into a TrainTaskSpec (public for
+  /// tests). `prefixes` resolves prefixed names inside the payload.
+  Result<TrainTaskSpec> ParseTrainSpec(
+      const std::string& json_text,
+      const std::map<std::string, std::string>& prefixes) const;
+
+  /// What Explain() reports about a SPARQL-ML query without executing it.
+  struct ExplainResult {
+    bool is_sparql_ml = false;
+    /// Model chosen for each user-defined predicate, in rewrite order.
+    std::vector<std::string> model_uris;
+    RewritePlan plan = RewritePlan::kPerInstance;
+    /// The final plain-SPARQL text (Figures 11/12), serialized.
+    std::string rewritten_sparql;
+  };
+
+  /// Runs analysis, model selection, plan choice and rewriting — but not
+  /// execution — and reports the outcome. The GML analogue of EXPLAIN.
+  Result<ExplainResult> Explain(std::string_view text) const;
+
+ private:
+  Result<sparql::QueryResult> ExecuteTrainGml(std::string_view text);
+  Result<sparql::QueryResult> ExecuteDelete(const sparql::Query& query);
+  Result<sparql::QueryResult> ExecuteSelectMl(const SparqlMlAnalysis& analysis,
+                                              RewritePlan forced_plan,
+                                              bool use_forced,
+                                              ExecutionStats* stats);
+  void RegisterUdfs();
+
+  rdf::TripleStore* kg_;
+  std::unique_ptr<sparql::QueryEngine> engine_;
+  KgMeta kgmeta_;
+  ModelStore models_;
+  std::unique_ptr<InferenceManager> inference_;
+  std::unique_ptr<GmlTrainingManager> training_;
+  /// Handles for dictionary-plan lookup tables.
+  mutable std::map<std::string, std::map<std::string, std::string>> dicts_;
+  mutable size_t next_dict_id_ = 1;
+};
+
+}  // namespace kgnet::core
+
+#endif  // KGNET_CORE_SPARQLML_H_

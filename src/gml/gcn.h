@@ -1,0 +1,33 @@
+// Full-batch two-layer GCN node classifier (Kipf & Welling).
+#ifndef KGNET_GML_GCN_H_
+#define KGNET_GML_GCN_H_
+
+#include "gml/model.h"
+#include "tensor/csr_matrix.h"
+#include "tensor/matrix.h"
+
+namespace kgnet::gml {
+
+/// Homogeneous GCN: logits = Â ReLU(Â X W0) W1 with Â the symmetric
+/// normalized adjacency (self loops added). Relations are ignored — this is
+/// the weakest but cheapest baseline in the taxonomy.
+class GcnClassifier : public NodeClassifier {
+ public:
+  Status Train(const GraphData& graph, const TrainConfig& config,
+               TrainReport* report) override;
+
+  std::vector<int> Predict(const GraphData& graph,
+                           const std::vector<uint32_t>& nodes) override;
+
+ private:
+  tensor::Matrix Logits(const tensor::CsrMatrix& adj,
+                        const tensor::Matrix& x) const;
+
+  tensor::Matrix w0_, w1_;
+  // Cached full-graph predictions after training.
+  std::vector<int> cached_predictions_;
+};
+
+}  // namespace kgnet::gml
+
+#endif  // KGNET_GML_GCN_H_

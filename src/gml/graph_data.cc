@@ -1,0 +1,314 @@
+#include "gml/graph_data.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace kgnet::gml {
+
+using rdf::kNullTermId;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+using tensor::CooEntry;
+using tensor::CsrMatrix;
+using tensor::Matrix;
+using tensor::Rng;
+
+tensor::CsrMatrix GraphData::BuildGcnAdjacency() const {
+  std::vector<CooEntry> entries;
+  entries.reserve(edges.size() * 2 + num_nodes);
+  for (const Edge& e : edges) {
+    entries.push_back({e.dst, e.src, 1.0f});
+    entries.push_back({e.src, e.dst, 1.0f});
+  }
+  for (uint32_t v = 0; v < num_nodes; ++v) entries.push_back({v, v, 1.0f});
+  CsrMatrix a(num_nodes, num_nodes, std::move(entries));
+  return a.SymNormalized();
+}
+
+std::vector<tensor::CsrMatrix> GraphData::BuildRelationalAdjacencies() const {
+  std::vector<std::vector<CooEntry>> buckets(num_relations * 2);
+  for (const Edge& e : edges) {
+    // Forward: messages flow src -> dst, so row = dst, col = src.
+    buckets[e.rel].push_back({e.dst, e.src, 1.0f});
+    // Inverse direction.
+    buckets[num_relations + e.rel].push_back({e.src, e.dst, 1.0f});
+  }
+  std::vector<CsrMatrix> out;
+  out.reserve(buckets.size());
+  for (auto& b : buckets) {
+    CsrMatrix a(num_nodes, num_nodes, std::move(b));
+    out.push_back(a.RowNormalized());
+  }
+  return out;
+}
+
+bool GraphData::FindNode(rdf::TermId term, uint32_t* node) const {
+  if (node_index_.empty() && !node_terms.empty()) {
+    node_index_.reserve(node_terms.size());
+    for (size_t i = 0; i < node_terms.size(); ++i)
+      node_index_.emplace(node_terms[i], static_cast<uint32_t>(i));
+  }
+  auto it = node_index_.find(term);
+  if (it == node_index_.end()) return false;
+  *node = it->second;
+  return true;
+}
+
+size_t GraphData::StructureBytes() const {
+  return edges.size() * sizeof(Edge) + features.ByteSize() +
+         labels.size() * sizeof(int);
+}
+
+namespace {
+
+/// Assigns indices 0..n-1 to folds. For kCommunity, `component` gives a
+/// community id per item; whole communities go to one fold.
+void SplitIndices(size_t n, double train_frac, double valid_frac, Rng* rng,
+                  SplitStrategy strategy, const std::vector<uint32_t>* component,
+                  std::vector<uint32_t>* train, std::vector<uint32_t>* valid,
+                  std::vector<uint32_t>* test) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::shuffle(order.begin(), order.end(), rng->generator());
+
+  const size_t target_train = static_cast<size_t>(n * train_frac);
+  const size_t target_valid = static_cast<size_t>(n * valid_frac);
+
+  if (strategy == SplitStrategy::kCommunity && component != nullptr) {
+    // Group by community, then fill folds greedily in shuffled community
+    // order. Keeps communities intact (graph-partition-aware splitting).
+    std::unordered_map<uint32_t, std::vector<uint32_t>> groups;
+    for (uint32_t i : order) (*groups.try_emplace((*component)[i]).first).second.push_back(i);
+    std::vector<std::vector<uint32_t>> comms;
+    comms.reserve(groups.size());
+    for (auto& [id, members] : groups) comms.push_back(std::move(members));
+    std::shuffle(comms.begin(), comms.end(), rng->generator());
+    for (auto& c : comms) {
+      if (train->size() < target_train) {
+        train->insert(train->end(), c.begin(), c.end());
+      } else if (valid->size() < target_valid) {
+        valid->insert(valid->end(), c.begin(), c.end());
+      } else {
+        test->insert(test->end(), c.begin(), c.end());
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i < target_train) {
+      train->push_back(order[i]);
+    } else if (i < target_train + target_valid) {
+      valid->push_back(order[i]);
+    } else {
+      test->push_back(order[i]);
+    }
+  }
+}
+
+/// Connected components over an undirected view of the edges, restricted to
+/// n nodes. Returns a component id per node.
+std::vector<uint32_t> ConnectedComponents(size_t n,
+                                          const std::vector<Edge>& edges) {
+  std::vector<uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Edge& e : edges) {
+    uint32_t a = find(e.src), b = find(e.dst);
+    if (a != b) parent[a] = b;
+  }
+  std::vector<uint32_t> comp(n);
+  for (uint32_t v = 0; v < n; ++v) comp[v] = find(v);
+  return comp;
+}
+
+}  // namespace
+
+Result<GraphData> BuildGraphData(const rdf::TripleStore& store,
+                                 const TransformOptions& options) {
+  const rdf::Dictionary& dict = store.dict();
+  GraphData g;
+
+  TermId type_pred = dict.FindIri(rdf::kRdfType);
+  TermId target_type = options.target_type_iri.empty()
+                           ? kNullTermId
+                           : dict.FindIri(options.target_type_iri);
+  TermId label_pred = options.label_predicate_iri.empty()
+                          ? kNullTermId
+                          : dict.FindIri(options.label_predicate_iri);
+  TermId task_pred = options.task_predicate_iri.empty()
+                         ? kNullTermId
+                         : dict.FindIri(options.task_predicate_iri);
+  if (!options.target_type_iri.empty() && target_type == kNullTermId)
+    return Status::NotFound("target type not in KG: " +
+                            options.target_type_iri);
+  if (!options.label_predicate_iri.empty() && label_pred == kNullTermId)
+    return Status::NotFound("label predicate not in KG: " +
+                            options.label_predicate_iri);
+  if (!options.task_predicate_iri.empty() && task_pred == kNullTermId)
+    return Status::NotFound("task predicate not in KG: " +
+                            options.task_predicate_iri);
+
+  // Pass 1: assign node and relation ids. Literal objects are dropped
+  // (paper: "removing literal data"); label/task predicate edges are
+  // excluded from message passing.
+  std::unordered_map<TermId, uint32_t> node_of;
+  std::unordered_map<TermId, uint32_t> rel_of;
+  auto intern_node = [&](TermId t) -> uint32_t {
+    auto it = node_of.find(t);
+    if (it != node_of.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(g.node_terms.size());
+    node_of.emplace(t, id);
+    g.node_terms.push_back(t);
+    return id;
+  };
+  auto intern_rel = [&](TermId t) -> uint32_t {
+    auto it = rel_of.find(t);
+    if (it != rel_of.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(g.relation_terms.size());
+    rel_of.emplace(t, id);
+    g.relation_terms.push_back(t);
+    return id;
+  };
+
+  std::vector<Triple> label_triples;
+  std::vector<Triple> task_triples;
+  store.Scan(TriplePattern(), [&](const Triple& t) {
+    if (options.drop_literals && dict.Lookup(t.o).is_literal()) return true;
+    if (label_pred != kNullTermId && t.p == label_pred) {
+      label_triples.push_back(t);
+      return true;
+    }
+    if (task_pred != kNullTermId && t.p == task_pred) {
+      task_triples.push_back(t);
+      return true;
+    }
+    if (t.p == type_pred) {
+      // Type edges stay in the graph (they carry schema signal) but the
+      // class nodes are regular nodes.
+      Edge e{intern_node(t.s), intern_rel(t.p), intern_node(t.o)};
+      g.edges.push_back(e);
+      return true;
+    }
+    Edge e{intern_node(t.s), intern_rel(t.p), intern_node(t.o)};
+    g.edges.push_back(e);
+    return true;
+  });
+
+  g.num_nodes = g.node_terms.size();
+  g.num_relations = g.relation_terms.size();
+  if (g.num_nodes == 0)
+    return Status::InvalidArgument("empty graph after transformation");
+
+  tensor::Rng rng(options.seed);
+
+  // Node classification supervision.
+  if (label_pred != kNullTermId) {
+    g.labels.assign(g.num_nodes, -1);
+    std::unordered_map<TermId, int> class_of;
+    for (const Triple& t : label_triples) {
+      auto nit = node_of.find(t.s);
+      if (nit == node_of.end()) continue;  // subject had no graph edges
+      // Restrict to instances of the target type if one was given.
+      if (target_type != kNullTermId &&
+          !store.Contains(Triple(t.s, type_pred, target_type)))
+        continue;
+      auto cit = class_of.find(t.o);
+      int cls;
+      if (cit == class_of.end()) {
+        cls = static_cast<int>(g.class_terms.size());
+        class_of.emplace(t.o, cls);
+        g.class_terms.push_back(t.o);
+      } else {
+        cls = cit->second;
+      }
+      if (g.labels[nit->second] == -1) {
+        g.labels[nit->second] = cls;
+        g.target_nodes.push_back(nit->second);
+      }
+    }
+    g.num_classes = g.class_terms.size();
+    if (g.target_nodes.empty())
+      return Status::InvalidArgument(
+          "no labeled target nodes found for node classification");
+
+    const std::vector<uint32_t>* comp_ptr = nullptr;
+    std::vector<uint32_t> target_comp;
+    std::vector<uint32_t> comp;
+    if (options.split == SplitStrategy::kCommunity) {
+      // Components over non-type edges: rdf:type edges hub every instance
+      // through its class node and would merge all communities.
+      std::vector<Edge> structural;
+      structural.reserve(g.edges.size());
+      for (const Edge& e : g.edges)
+        if (g.relation_terms[e.rel] != type_pred) structural.push_back(e);
+      comp = ConnectedComponents(g.num_nodes, structural);
+      target_comp.reserve(g.target_nodes.size());
+      for (uint32_t v : g.target_nodes) target_comp.push_back(comp[v]);
+      comp_ptr = &target_comp;
+    }
+    SplitIndices(g.target_nodes.size(), options.train_fraction,
+                 options.valid_fraction, &rng, options.split, comp_ptr,
+                 &g.train_idx, &g.valid_idx, &g.test_idx);
+  } else {
+    g.labels.assign(g.num_nodes, -1);
+  }
+
+  // Link prediction supervision.
+  if (task_pred != kNullTermId) {
+    std::vector<Edge> task_edges;
+    for (const Triple& t : task_triples) {
+      auto sit = node_of.find(t.s);
+      auto oit = node_of.find(t.o);
+      if (sit == node_of.end() || oit == node_of.end()) continue;
+      task_edges.push_back(
+          Edge{sit->second, intern_rel(task_pred), oit->second});
+    }
+    // intern_rel may have grown the relation table.
+    g.num_relations = g.relation_terms.size();
+    if (task_edges.empty())
+      return Status::InvalidArgument(
+          "no task edges found for link prediction");
+    g.task_relation = task_edges.front().rel;
+    std::vector<uint32_t> tr, va, te;
+    SplitIndices(task_edges.size(), options.train_fraction,
+                 options.valid_fraction, &rng, SplitStrategy::kRandom, nullptr,
+                 &tr, &va, &te);
+    for (uint32_t i : tr) g.train_edges.push_back(task_edges[i]);
+    for (uint32_t i : va) g.valid_edges.push_back(task_edges[i]);
+    for (uint32_t i : te) g.test_edges.push_back(task_edges[i]);
+    // Training task edges participate in message passing; valid/test do not.
+    for (const Edge& e : g.train_edges) g.edges.push_back(e);
+
+    // Destination-type candidates for ranking.
+    if (!options.destination_type_iri.empty()) {
+      TermId dest_type = dict.FindIri(options.destination_type_iri);
+      if (dest_type == kNullTermId)
+        return Status::NotFound("destination type not in KG: " +
+                                options.destination_type_iri);
+      store.Scan(TriplePattern(kNullTermId, type_pred, dest_type),
+                 [&](const Triple& t) {
+                   auto it = node_of.find(t.s);
+                   if (it != node_of.end())
+                     g.destination_candidates.push_back(it->second);
+                   return true;
+                 });
+    }
+  }
+
+  // Features.
+  g.feature_dim = options.feature_dim;
+  g.features = Matrix(g.num_nodes, g.feature_dim);
+  g.features.XavierInit(&rng);
+
+  return g;
+}
+
+}  // namespace kgnet::gml

@@ -1,0 +1,66 @@
+// Knowledge-graph-embedding link predictors: TransE, DistMult, ComplEx,
+// RotatE — trained with negative sampling and manual sparse gradients.
+#ifndef KGNET_GML_KGE_H_
+#define KGNET_GML_KGE_H_
+
+#include <vector>
+
+#include "gml/model.h"
+#include "tensor/matrix.h"
+
+namespace kgnet::gml {
+
+/// Scoring functions implemented by KgeModel.
+enum class KgeScore {
+  kTransE,    // -||h + r - t||_1
+  kDistMult,  // <h, r, t>
+  kComplEx,   // Re(<h, r, conj(t)>), dims split (real | imag)
+  kRotatE,    // -||h ∘ e^{iθ_r} - t||_2, dims split (real | imag)
+};
+
+/// Shallow KGE link predictor with entity and relation embedding tables.
+///
+/// Training: for each positive training edge, draw
+/// `negatives_per_positive` corrupted edges (tail or head replaced
+/// uniformly) and minimize the logistic loss on +-1 targets. Updates are
+/// sparse SGD touching only the sampled rows, which keeps the per-step cost
+/// independent of graph size.
+class KgeModel : public LinkPredictor {
+ public:
+  explicit KgeModel(KgeScore score) : score_(score) {}
+
+  Status Train(const GraphData& graph, const TrainConfig& config,
+               TrainReport* report) override;
+
+  float Score(uint32_t src, uint32_t rel, uint32_t dst) const override;
+
+  std::vector<uint32_t> TopKTails(uint32_t src, uint32_t rel,
+                                  size_t k) const override;
+
+  std::vector<float> EntityEmbedding(uint32_t node) const override;
+
+  KgeScore score_kind() const { return score_; }
+
+ private:
+  /// Gradient of the score wrt h, r, t; returns the score.
+  float ScoreWithGrad(const float* h, const float* r, const float* t,
+                      float* gh, float* gr, float* gt) const;
+
+  KgeScore score_;
+  size_t dim_ = 0;
+  tensor::Matrix entities_;   // num_nodes x dim
+  tensor::Matrix relations_;  // num_relations x dim
+};
+
+/// Ranks of true tails among corrupted candidates; shared by KGE and MorsE
+/// evaluation. Candidates come from graph.destination_candidates when
+/// `within_type` is set and the pool is non-empty, else from all entities.
+/// Ties receive their expected (mid) rank. Returns 1-based ranks per edge.
+std::vector<size_t> RankTestEdges(
+    const LinkPredictor& model, const GraphData& graph,
+    const std::vector<Edge>& test_edges, size_t eval_candidates,
+    uint64_t seed, bool within_type = true);
+
+}  // namespace kgnet::gml
+
+#endif  // KGNET_GML_KGE_H_

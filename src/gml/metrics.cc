@@ -1,0 +1,66 @@
+#include "gml/metrics.h"
+
+#include <algorithm>
+
+namespace kgnet::gml {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected) {
+  size_t n = 0, correct = 0;
+  const size_t m = std::min(predicted.size(), expected.size());
+  for (size_t i = 0; i < m; ++i) {
+    if (expected[i] < 0) continue;
+    ++n;
+    if (predicted[i] == expected[i]) ++correct;
+  }
+  return n > 0 ? static_cast<double>(correct) / n : 0.0;
+}
+
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& expected, size_t num_classes) {
+  std::vector<size_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  const size_t m = std::min(predicted.size(), expected.size());
+  for (size_t i = 0; i < m; ++i) {
+    if (expected[i] < 0) continue;
+    const int e = expected[i];
+    const int p = predicted[i];
+    if (p == e) {
+      ++tp[e];
+    } else {
+      if (p >= 0 && static_cast<size_t>(p) < num_classes) ++fp[p];
+      ++fn[e];
+    }
+  }
+  double f1_sum = 0.0;
+  size_t counted = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    const size_t denom_p = tp[c] + fp[c];
+    const size_t denom_r = tp[c] + fn[c];
+    if (denom_r == 0) continue;  // class absent from eval set
+    ++counted;
+    const double precision =
+        denom_p > 0 ? static_cast<double>(tp[c]) / denom_p : 0.0;
+    const double recall = static_cast<double>(tp[c]) / denom_r;
+    if (precision + recall > 0)
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  return counted > 0 ? f1_sum / counted : 0.0;
+}
+
+double MeanReciprocalRank(const std::vector<size_t>& ranks) {
+  if (ranks.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t r : ranks) acc += r > 0 ? 1.0 / static_cast<double>(r) : 0.0;
+  return acc / ranks.size();
+}
+
+double HitsAtK(const std::vector<size_t>& ranks, size_t k) {
+  if (ranks.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t r : ranks)
+    if (r >= 1 && r <= k) ++hits;
+  return static_cast<double>(hits) / ranks.size();
+}
+
+}  // namespace kgnet::gml

@@ -1,0 +1,27 @@
+// Evaluation metrics for GML tasks.
+#ifndef KGNET_GML_METRICS_H_
+#define KGNET_GML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace kgnet::gml {
+
+/// Fraction of positions where predicted == expected (expected == -1 rows
+/// are skipped).
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected);
+
+/// Macro-averaged F1 over `num_classes` classes.
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& expected, size_t num_classes);
+
+/// Mean reciprocal rank given 1-based ranks of the true answers.
+double MeanReciprocalRank(const std::vector<size_t>& ranks);
+
+/// Fraction of 1-based ranks <= k.
+double HitsAtK(const std::vector<size_t>& ranks, size_t k);
+
+}  // namespace kgnet::gml
+
+#endif  // KGNET_GML_METRICS_H_

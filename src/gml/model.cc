@@ -1,0 +1,88 @@
+#include "gml/model.h"
+
+#include "gml/gcn.h"
+#include "gml/kge.h"
+#include "gml/morse.h"
+#include "gml/rgcn.h"
+#include "gml/sage.h"
+#include "gml/saint.h"
+
+namespace kgnet::gml {
+
+const char* GmlMethodName(GmlMethod m) {
+  switch (m) {
+    case GmlMethod::kGcn:
+      return "GCN";
+    case GmlMethod::kRgcn:
+      return "RGCN";
+    case GmlMethod::kGraphSaint:
+      return "Graph-SAINT";
+    case GmlMethod::kShadowSaint:
+      return "Shadow-SAINT";
+    case GmlMethod::kGraphSage:
+      return "Graph-SAGE";
+    case GmlMethod::kMorse:
+      return "MorsE";
+    case GmlMethod::kTransE:
+      return "TransE";
+    case GmlMethod::kDistMult:
+      return "DistMult";
+    case GmlMethod::kComplEx:
+      return "ComplEx";
+    case GmlMethod::kRotatE:
+      return "RotatE";
+  }
+  return "unknown";
+}
+
+const char* TaskTypeName(TaskType t) {
+  switch (t) {
+    case TaskType::kNodeClassification:
+      return "NodeClassification";
+    case TaskType::kLinkPrediction:
+      return "LinkPrediction";
+    case TaskType::kEntitySimilarity:
+      return "EntitySimilarity";
+  }
+  return "unknown";
+}
+
+Result<std::unique_ptr<NodeClassifier>> MakeNodeClassifier(GmlMethod method) {
+  switch (method) {
+    case GmlMethod::kGcn:
+      return std::unique_ptr<NodeClassifier>(new GcnClassifier());
+    case GmlMethod::kRgcn:
+      return std::unique_ptr<NodeClassifier>(new RgcnClassifier());
+    case GmlMethod::kGraphSaint:
+      return std::unique_ptr<NodeClassifier>(new GraphSaintClassifier());
+    case GmlMethod::kShadowSaint:
+      return std::unique_ptr<NodeClassifier>(new ShadowSaintClassifier());
+    case GmlMethod::kGraphSage:
+      return std::unique_ptr<NodeClassifier>(new SageClassifier());
+    default:
+      return Status::InvalidArgument(
+          std::string(GmlMethodName(method)) +
+          " is not a node-classification method");
+  }
+}
+
+Result<std::unique_ptr<LinkPredictor>> MakeLinkPredictor(GmlMethod method) {
+  switch (method) {
+    case GmlMethod::kTransE:
+      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kTransE));
+    case GmlMethod::kDistMult:
+      return std::unique_ptr<LinkPredictor>(
+          new KgeModel(KgeScore::kDistMult));
+    case GmlMethod::kComplEx:
+      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kComplEx));
+    case GmlMethod::kRotatE:
+      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kRotatE));
+    case GmlMethod::kMorse:
+      return std::unique_ptr<LinkPredictor>(new MorseModel());
+    default:
+      return Status::InvalidArgument(std::string(GmlMethodName(method)) +
+                                     " is not a link-prediction method");
+  }
+}
+
+}  // namespace kgnet::gml

@@ -1,0 +1,136 @@
+#include "gml/rgcn_net.h"
+
+#include <cassert>
+
+namespace kgnet::gml {
+
+using tensor::CsrMatrix;
+using tensor::Matrix;
+
+RgcnNet::RgcnNet(size_t in_dim, size_t hidden_dim, size_t out_dim,
+                 size_t num_adj, tensor::Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      out_dim_(out_dim),
+      num_adj_(num_adj) {
+  wself0_ = Matrix(in_dim_, hidden_dim_);
+  wself0_.XavierInit(rng);
+  wself1_ = Matrix(hidden_dim_, out_dim_);
+  wself1_.XavierInit(rng);
+  wrel0_.reserve(num_adj_);
+  wrel1_.reserve(num_adj_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    wrel0_.emplace_back(in_dim_, hidden_dim_);
+    wrel0_.back().XavierInit(rng);
+    wrel1_.emplace_back(hidden_dim_, out_dim_);
+    wrel1_.back().XavierInit(rng);
+  }
+}
+
+void RgcnNet::RegisterParams(tensor::AdamOptimizer* opt) {
+  opt->Register(&wself0_);
+  opt->Register(&wself1_);
+  for (auto& w : wrel0_) opt->Register(&w);
+  for (auto& w : wrel1_) opt->Register(&w);
+}
+
+size_t RgcnNet::ParamBytes() const {
+  size_t bytes = wself0_.ByteSize() + wself1_.ByteSize();
+  for (const auto& w : wrel0_) bytes += w.ByteSize();
+  for (const auto& w : wrel1_) bytes += w.ByteSize();
+  return bytes;
+}
+
+Matrix RgcnNet::Forward(const std::vector<CsrMatrix>& adj,
+                        const Matrix& x) const {
+  assert(adj.size() == num_adj_);
+  // Layer 1 (messages are discarded immediately: inference is lean).
+  Matrix h1 = Matrix::MatMul(x, wself0_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) continue;
+    Matrix msg = adj[r].SpMM(x);
+    h1.Add(Matrix::MatMul(msg, wrel0_[r]));
+  }
+  h1.ReluInPlace();
+  // Layer 2.
+  Matrix z = Matrix::MatMul(h1, wself1_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) continue;
+    Matrix msg = adj[r].SpMM(h1);
+    z.Add(Matrix::MatMul(msg, wrel1_[r]));
+  }
+  return z;
+}
+
+float RgcnNet::TrainStep(const std::vector<CsrMatrix>& adj, const Matrix& x,
+                         const std::vector<int>& labels,
+                         tensor::AdamOptimizer* opt) {
+  assert(adj.size() == num_adj_);
+  const size_t n = x.rows();
+
+  // ---- Forward with cached per-relation messages (the memory hog). ----
+  std::vector<Matrix> msg0(num_adj_);  // Â_r · X
+  Matrix pre1 = Matrix::MatMul(x, wself0_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) continue;
+    msg0[r] = adj[r].SpMM(x);
+    pre1.Add(Matrix::MatMul(msg0[r], wrel0_[r]));
+  }
+  Matrix relu_mask;
+  Matrix h1 = pre1;
+  h1.ReluInPlace(&relu_mask);
+
+  std::vector<Matrix> msg1(num_adj_);  // Â_r · H1
+  Matrix logits = Matrix::MatMul(h1, wself1_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) continue;
+    msg1[r] = adj[r].SpMM(h1);
+    logits.Add(Matrix::MatMul(msg1[r], wrel1_[r]));
+  }
+
+  // ---- Loss ----
+  Matrix dlogits;
+  const float loss = tensor::SoftmaxCrossEntropy(logits, labels, &dlogits);
+
+  // ---- Backward ----
+  Matrix dwself1 = Matrix::MatMulTransA(h1, dlogits);
+  Matrix dh1 = Matrix::MatMulTransB(dlogits, wself1_);
+  std::vector<Matrix> dwrel1(num_adj_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) {
+      dwrel1[r] = Matrix(hidden_dim_, out_dim_);
+      continue;
+    }
+    dwrel1[r] = Matrix::MatMulTransA(msg1[r], dlogits);
+    // dh1 += Â_rᵀ (dlogits · Wr1ᵀ)
+    Matrix tmp = Matrix::MatMulTransB(dlogits, wrel1_[r]);
+    dh1.Add(adj[r].SpMMTransposed(tmp));
+  }
+  msg1.clear();
+
+  // Through ReLU.
+  dh1.Hadamard(relu_mask);
+
+  Matrix dwself0 = Matrix::MatMulTransA(x, dh1);
+  std::vector<Matrix> dwrel0(num_adj_);
+  for (size_t r = 0; r < num_adj_; ++r) {
+    if (adj[r].nnz() == 0) {
+      dwrel0[r] = Matrix(in_dim_, hidden_dim_);
+      continue;
+    }
+    dwrel0[r] = Matrix::MatMulTransA(msg0[r], dh1);
+  }
+  msg0.clear();
+  (void)n;
+
+  // ---- Update ----
+  std::vector<Matrix*> grads;
+  grads.push_back(&dwself0);
+  grads.push_back(&dwself1);
+  for (auto& g : dwrel0) grads.push_back(&g);
+  for (auto& g : dwrel1) grads.push_back(&g);
+  opt->Step(grads);
+  return loss;
+}
+
+}  // namespace kgnet::gml

@@ -1,0 +1,60 @@
+// A two-layer relational graph convolutional network (RGCN) with manual
+// gradients, reusable for full-batch training and for sampled subgraphs
+// (GraphSAINT / ShadowSAINT mini-batches).
+#ifndef KGNET_GML_RGCN_NET_H_
+#define KGNET_GML_RGCN_NET_H_
+
+#include <vector>
+
+#include "tensor/csr_matrix.h"
+#include "tensor/matrix.h"
+#include "tensor/optimizer.h"
+#include "tensor/rng.h"
+
+namespace kgnet::gml {
+
+/// RGCN propagation:
+///   H1 = ReLU(X·Wself0 + Σ_r Â_r X·Wr0)
+///   Z  = H1·Wself1 + Σ_r Â_r H1·Wr1
+///
+/// Â_r are row-normalized per-relation adjacencies (forward and inverse
+/// directions are separate relations, as in Schlichtkrull et al.). The
+/// classic implementation caches the per-relation messages Â_r·H for the
+/// backward pass, which is what makes full-batch RGCN memory-hungry — the
+/// behaviour the paper's Figures 13–15 measure.
+class RgcnNet {
+ public:
+  /// `num_adj` is the number of adjacency matrices (2 x relations).
+  RgcnNet(size_t in_dim, size_t hidden_dim, size_t out_dim, size_t num_adj,
+          tensor::Rng* rng);
+
+  /// Forward pass without gradient caching (inference).
+  tensor::Matrix Forward(const std::vector<tensor::CsrMatrix>& adj,
+                         const tensor::Matrix& x) const;
+
+  /// One training step: forward with caches, softmax-CE loss on labeled
+  /// rows, backward, Adam update. Returns the loss.
+  float TrainStep(const std::vector<tensor::CsrMatrix>& adj,
+                  const tensor::Matrix& x, const std::vector<int>& labels,
+                  tensor::AdamOptimizer* opt);
+
+  /// Registers all parameters with `opt`. Call once before TrainStep.
+  void RegisterParams(tensor::AdamOptimizer* opt);
+
+  size_t in_dim() const { return in_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  size_t num_adj() const { return num_adj_; }
+
+  /// Total parameter bytes.
+  size_t ParamBytes() const;
+
+ private:
+  size_t in_dim_, hidden_dim_, out_dim_, num_adj_;
+  tensor::Matrix wself0_, wself1_;
+  std::vector<tensor::Matrix> wrel0_, wrel1_;
+};
+
+}  // namespace kgnet::gml
+
+#endif  // KGNET_GML_RGCN_NET_H_

@@ -1,0 +1,127 @@
+#include "gml/sampler.h"
+
+#include <algorithm>
+
+namespace kgnet::gml {
+
+using tensor::CooEntry;
+using tensor::CsrMatrix;
+
+AdjacencyList::AdjacencyList(const GraphData& graph)
+    : edges_(&graph.edges),
+      out_(graph.num_nodes),
+      in_(graph.num_nodes) {
+  for (uint32_t e = 0; e < graph.edges.size(); ++e) {
+    out_[graph.edges[e].src].push_back(e);
+    in_[graph.edges[e].dst].push_back(e);
+  }
+}
+
+namespace {
+
+/// Fills sub->local_of / sub->nodes from a set of original ids.
+void FinalizeNodes(const std::vector<uint32_t>& picked, Subgraph* sub) {
+  sub->nodes = picked;
+  std::sort(sub->nodes.begin(), sub->nodes.end());
+  sub->nodes.erase(std::unique(sub->nodes.begin(), sub->nodes.end()),
+                   sub->nodes.end());
+  sub->local_of.reserve(sub->nodes.size());
+  for (uint32_t i = 0; i < sub->nodes.size(); ++i)
+    sub->local_of.emplace(sub->nodes[i], i);
+}
+
+/// Induces edges among sub->nodes from the full edge list.
+void InduceEdges(const GraphData& graph, Subgraph* sub) {
+  for (const Edge& e : graph.edges) {
+    auto s = sub->local_of.find(e.src);
+    if (s == sub->local_of.end()) continue;
+    auto d = sub->local_of.find(e.dst);
+    if (d == sub->local_of.end()) continue;
+    sub->edges.push_back(Edge{s->second, e.rel, d->second});
+  }
+}
+
+}  // namespace
+
+Subgraph SampleSaintSubgraph(const GraphData& graph, const AdjacencyList& adj,
+                             size_t num_nodes, tensor::Rng* rng) {
+  Subgraph sub;
+  if (graph.num_nodes == 0) return sub;
+  // Degree-proportional sampling with replacement, via the edge list: pick a
+  // random edge endpoint. This is the standard GraphSAINT node sampler.
+  std::vector<uint32_t> picked;
+  picked.reserve(num_nodes);
+  const size_t draws = std::min(num_nodes, graph.num_nodes);
+  if (graph.edges.empty()) {
+    for (size_t i = 0; i < draws; ++i)
+      picked.push_back(static_cast<uint32_t>(rng->NextUint(graph.num_nodes)));
+  } else {
+    for (size_t i = 0; i < draws; ++i) {
+      const Edge& e = graph.edges[rng->NextUint(graph.edges.size())];
+      picked.push_back(rng->NextFloat() < 0.5f ? e.src : e.dst);
+    }
+  }
+  FinalizeNodes(picked, &sub);
+  InduceEdges(graph, &sub);
+  (void)adj;
+  return sub;
+}
+
+Subgraph SampleShadowSubgraph(const GraphData& graph, const AdjacencyList& adj,
+                              const std::vector<uint32_t>& seeds, size_t hops,
+                              size_t neighbor_budget, tensor::Rng* rng) {
+  Subgraph sub;
+  std::vector<uint32_t> picked(seeds);
+  std::vector<uint32_t> frontier(seeds);
+  std::unordered_map<uint32_t, bool> visited;
+  for (uint32_t s : seeds) visited[s] = true;
+
+  for (size_t h = 0; h < hops; ++h) {
+    std::vector<uint32_t> next;
+    for (uint32_t v : frontier) {
+      // Sample up to neighbor_budget incident edges of v.
+      const auto& outs = adj.OutEdges(v);
+      const auto& ins = adj.InEdges(v);
+      const size_t deg = outs.size() + ins.size();
+      if (deg == 0) continue;
+      const size_t take = std::min(neighbor_budget, deg);
+      for (size_t i = 0; i < take; ++i) {
+        const size_t pick = deg <= neighbor_budget
+                                ? i
+                                : rng->NextUint(deg);
+        const Edge& e = adj.edges()[pick < outs.size()
+                                        ? outs[pick]
+                                        : ins[pick - outs.size()]];
+        const uint32_t nb = e.src == v ? e.dst : e.src;
+        if (!visited[nb]) {
+          visited[nb] = true;
+          picked.push_back(nb);
+          next.push_back(nb);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  FinalizeNodes(picked, &sub);
+  InduceEdges(graph, &sub);
+  return sub;
+}
+
+std::vector<tensor::CsrMatrix> BuildSubgraphAdjacencies(
+    const Subgraph& sub, size_t num_relations) {
+  std::vector<std::vector<CooEntry>> buckets(num_relations * 2);
+  for (const Edge& e : sub.edges) {
+    buckets[e.rel].push_back({e.dst, e.src, 1.0f});
+    buckets[num_relations + e.rel].push_back({e.src, e.dst, 1.0f});
+  }
+  std::vector<CsrMatrix> out;
+  out.reserve(buckets.size());
+  const size_t n = sub.nodes.size();
+  for (auto& b : buckets) {
+    CsrMatrix a(n, n, std::move(b));
+    out.push_back(a.RowNormalized());
+  }
+  return out;
+}
+
+}  // namespace kgnet::gml

@@ -1,0 +1,69 @@
+// Graph samplers: GraphSAINT-style induced subgraphs and ShadowSAINT-style
+// ego-net extraction.
+#ifndef KGNET_GML_SAMPLER_H_
+#define KGNET_GML_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gml/graph_data.h"
+#include "tensor/rng.h"
+
+namespace kgnet::gml {
+
+/// A node-induced subgraph with local ids 0..nodes.size()-1.
+struct Subgraph {
+  /// Local -> original node id.
+  std::vector<uint32_t> nodes;
+  /// Edges with local endpoints (relation ids stay global).
+  std::vector<Edge> edges;
+  /// Original -> local.
+  std::unordered_map<uint32_t, uint32_t> local_of;
+
+  bool Contains(uint32_t orig) const { return local_of.count(orig) > 0; }
+};
+
+/// Precomputed incidence lists for fast neighbor expansion.
+class AdjacencyList {
+ public:
+  explicit AdjacencyList(const GraphData& graph);
+
+  /// Outgoing (src==v) and incoming (dst==v) edge indexes of `v`.
+  const std::vector<uint32_t>& OutEdges(uint32_t v) const {
+    return out_[v];
+  }
+  const std::vector<uint32_t>& InEdges(uint32_t v) const { return in_[v]; }
+
+  /// Degree (in + out) of `v`.
+  size_t Degree(uint32_t v) const { return out_[v].size() + in_[v].size(); }
+
+  const std::vector<Edge>& edges() const { return *edges_; }
+
+ private:
+  const std::vector<Edge>* edges_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+};
+
+/// GraphSAINT node sampler: draws `num_nodes` nodes with probability
+/// proportional to degree (with replacement, deduplicated) and induces the
+/// subgraph on them.
+Subgraph SampleSaintSubgraph(const GraphData& graph, const AdjacencyList& adj,
+                             size_t num_nodes, tensor::Rng* rng);
+
+/// ShadowSAINT ego-net sampler: for each seed, performs a bounded
+/// breadth-first expansion (`hops` levels, at most `neighbor_budget`
+/// sampled neighbors per node) and unions the ego nets into one subgraph.
+Subgraph SampleShadowSubgraph(const GraphData& graph, const AdjacencyList& adj,
+                              const std::vector<uint32_t>& seeds, size_t hops,
+                              size_t neighbor_budget, tensor::Rng* rng);
+
+/// Builds per-relation row-normalized adjacencies local to `sub`
+/// (2 x num_relations matrices of size |sub| x |sub|).
+std::vector<tensor::CsrMatrix> BuildSubgraphAdjacencies(
+    const Subgraph& sub, size_t num_relations);
+
+}  // namespace kgnet::gml
+
+#endif  // KGNET_GML_SAMPLER_H_

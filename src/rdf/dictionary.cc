@@ -1,0 +1,20 @@
+#include "rdf/dictionary.h"
+
+namespace kgnet::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = term.EncodeKey();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term.EncodeKey());
+  return it == index_.end() ? kNullTermId : it->second;
+}
+
+}  // namespace kgnet::rdf

@@ -1,0 +1,58 @@
+// Dictionary-encoding of RDF terms: Term <-> dense TermId.
+#ifndef KGNET_RDF_DICTIONARY_H_
+#define KGNET_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace kgnet::rdf {
+
+/// Bidirectional mapping between Terms and dense TermIds.
+///
+/// Ids start at 1; 0 is the reserved wildcard (kNullTermId). The dictionary
+/// owns the Term storage; `Lookup` returns stable references valid for the
+/// dictionary's lifetime.
+class Dictionary {
+ public:
+  Dictionary() { terms_.emplace_back(); /* slot for id 0 */ }
+
+  /// Interns `term`, returning its id (existing or newly assigned).
+  TermId Intern(const Term& term);
+
+  /// Convenience: interns an IRI.
+  TermId InternIri(std::string_view iri) {
+    return Intern(Term::Iri(std::string(iri)));
+  }
+
+  /// Returns the id of `term` or kNullTermId if it was never interned.
+  TermId Find(const Term& term) const;
+
+  /// Returns the id of the IRI `iri` or kNullTermId.
+  TermId FindIri(std::string_view iri) const {
+    return Find(Term::Iri(std::string(iri)));
+  }
+
+  /// Returns the term for a valid id. Precondition: 1 <= id < size().
+  const Term& Lookup(TermId id) const { return terms_[id]; }
+
+  /// True if `id` names an interned term.
+  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+
+  /// Number of slots including the reserved id 0.
+  size_t size() const { return terms_.size(); }
+
+  /// Number of interned terms.
+  size_t num_terms() const { return terms_.size() - 1; }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;
+};
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_DICTIONARY_H_

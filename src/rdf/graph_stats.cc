@@ -1,0 +1,49 @@
+#include "rdf/graph_stats.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kgnet::rdf {
+
+GraphStats ComputeGraphStats(const TripleStore& store) {
+  GraphStats stats;
+  const Dictionary& dict = store.dict();
+  stats.num_triples = store.size();
+  stats.num_subjects = store.NumDistinctSubjects();
+  stats.num_objects = store.NumDistinctObjects();
+  stats.num_edge_types = store.NumDistinctPredicates();
+
+  TermId type_pred = dict.FindIri(kRdfType);
+  std::unordered_map<TermId, size_t> per_pred;
+  std::unordered_map<TermId, size_t> per_class;
+  size_t literal_triples = 0;
+  store.Scan(TriplePattern(), [&](const Triple& t) {
+    ++per_pred[t.p];
+    if (dict.Lookup(t.o).is_literal()) ++literal_triples;
+    if (type_pred != kNullTermId && t.p == type_pred) ++per_class[t.o];
+    return true;
+  });
+  stats.num_literal_triples = literal_triples;
+  stats.num_node_types = per_class.size();
+  for (const auto& [pid, n] : per_pred)
+    stats.predicate_counts[dict.Lookup(pid).lexical] = n;
+  for (const auto& [cid, n] : per_class)
+    stats.class_counts[dict.Lookup(cid).lexical] = n;
+  return stats;
+}
+
+std::string FormatStatsTable(const std::string& kg_name,
+                             const GraphStats& stats) {
+  std::ostringstream os;
+  os << "Knowledge Graph: " << kg_name << "\n";
+  os << "  #Triples      " << stats.num_triples << "\n";
+  os << "  #Subjects     " << stats.num_subjects << "\n";
+  os << "  #Objects      " << stats.num_objects << "\n";
+  os << "  #Edge Types   " << stats.num_edge_types << "\n";
+  os << "  #Node Types   " << stats.num_node_types << "\n";
+  os << "  #Literals     " << stats.num_literal_triples << "\n";
+  return os.str();
+}
+
+}  // namespace kgnet::rdf

@@ -1,0 +1,41 @@
+// Schema-level statistics over a TripleStore (Table I of the paper).
+#ifndef KGNET_RDF_GRAPH_STATS_H_
+#define KGNET_RDF_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace kgnet::rdf {
+
+/// Aggregate statistics for a knowledge graph, in the shape the paper's
+/// Table I reports.
+struct GraphStats {
+  size_t num_triples = 0;
+  size_t num_subjects = 0;
+  size_t num_objects = 0;
+  /// Distinct predicate IRIs ("edge types" in the paper).
+  size_t num_edge_types = 0;
+  /// Distinct classes, i.e. distinct objects of rdf:type ("node types").
+  size_t num_node_types = 0;
+  /// Number of literal-valued triples.
+  size_t num_literal_triples = 0;
+  /// Per-predicate triple counts, keyed by predicate IRI.
+  std::map<std::string, size_t> predicate_counts;
+  /// Per-class instance counts, keyed by class IRI.
+  std::map<std::string, size_t> class_counts;
+};
+
+/// Computes GraphStats for `store`.
+GraphStats ComputeGraphStats(const TripleStore& store);
+
+/// Formats stats as an aligned text table (used by bench_table1).
+std::string FormatStatsTable(const std::string& kg_name,
+                             const GraphStats& stats);
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_GRAPH_STATS_H_

@@ -1,0 +1,168 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace kgnet::rdf {
+
+namespace {
+
+// Consumes one term starting at s[pos]; advances pos past the term.
+Result<Term> ParseTermAt(std::string_view s, size_t* pos) {
+  while (*pos < s.size() && std::isspace(static_cast<unsigned char>(s[*pos])))
+    ++*pos;
+  if (*pos >= s.size())
+    return Status::ParseError("unexpected end of line while reading term");
+
+  char c = s[*pos];
+  if (c == '<') {
+    size_t end = s.find('>', *pos + 1);
+    if (end == std::string_view::npos)
+      return Status::ParseError("unterminated IRI");
+    Term t = Term::Iri(std::string(s.substr(*pos + 1, end - *pos - 1)));
+    *pos = end + 1;
+    return t;
+  }
+  if (c == '_') {
+    if (*pos + 1 >= s.size() || s[*pos + 1] != ':')
+      return Status::ParseError("malformed blank node");
+    size_t end = *pos + 2;
+    while (end < s.size() &&
+           !std::isspace(static_cast<unsigned char>(s[end])) && s[end] != '.')
+      ++end;
+    Term t = Term::Blank(std::string(s.substr(*pos + 2, end - *pos - 2)));
+    *pos = end;
+    return t;
+  }
+  if (c == '"') {
+    std::string value;
+    size_t i = *pos + 1;
+    bool closed = false;
+    while (i < s.size()) {
+      char d = s[i];
+      if (d == '\\') {
+        if (i + 1 >= s.size()) return Status::ParseError("dangling escape");
+        char e = s[i + 1];
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          default:
+            return Status::ParseError("unsupported escape in literal");
+        }
+        i += 2;
+        continue;
+      }
+      if (d == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      value += d;
+      ++i;
+    }
+    if (!closed) return Status::ParseError("unterminated literal");
+    Term t = Term::Literal(std::move(value));
+    if (i < s.size() && s[i] == '@') {
+      size_t end = i + 1;
+      while (end < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[end])) ||
+              s[end] == '-'))
+        ++end;
+      t.lang = std::string(s.substr(i + 1, end - i - 1));
+      i = end;
+    } else if (i + 1 < s.size() && s[i] == '^' && s[i + 1] == '^') {
+      if (i + 2 >= s.size() || s[i + 2] != '<')
+        return Status::ParseError("malformed datatype");
+      size_t end = s.find('>', i + 3);
+      if (end == std::string_view::npos)
+        return Status::ParseError("unterminated datatype IRI");
+      t.datatype = std::string(s.substr(i + 3, end - i - 3));
+      i = end + 1;
+    }
+    *pos = i;
+    return t;
+  }
+  return Status::ParseError("unrecognised term start '" + std::string(1, c) +
+                            "'");
+}
+
+}  // namespace
+
+Result<ParsedTriple> ParseNTriplesLine(std::string_view line) {
+  std::string_view body = StripWhitespace(line);
+  if (body.empty() || body[0] == '#')
+    return Status::NotFound("blank or comment line");
+
+  size_t pos = 0;
+  KGNET_ASSIGN_OR_RETURN(Term s, ParseTermAt(body, &pos));
+  KGNET_ASSIGN_OR_RETURN(Term p, ParseTermAt(body, &pos));
+  if (!p.is_iri()) return Status::ParseError("predicate must be an IRI");
+  KGNET_ASSIGN_OR_RETURN(Term o, ParseTermAt(body, &pos));
+
+  while (pos < body.size() &&
+         std::isspace(static_cast<unsigned char>(body[pos])))
+    ++pos;
+  if (pos >= body.size() || body[pos] != '.')
+    return Status::ParseError("missing terminating '.'");
+  return ParsedTriple{std::move(s), std::move(p), std::move(o)};
+}
+
+Result<size_t> LoadNTriples(std::string_view document, TripleStore* store) {
+  size_t added = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= document.size()) {
+    size_t end = document.find('\n', start);
+    if (end == std::string_view::npos) end = document.size();
+    std::string_view line = document.substr(start, end - start);
+    ++line_no;
+    start = end + 1;
+    if (StripWhitespace(line).empty()) continue;
+    auto parsed = ParseNTriplesLine(line);
+    if (!parsed.ok()) {
+      if (parsed.status().code() == StatusCode::kNotFound) continue;
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                parsed.status().message());
+    }
+    if (store->Insert(parsed->s, parsed->p, parsed->o)) ++added;
+    if (end == document.size()) break;
+  }
+  return added;
+}
+
+Result<size_t> LoadNTriplesFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  return LoadNTriples(content, store);
+}
+
+Status WriteNTriples(const TripleStore& store, std::ostream& os) {
+  const Dictionary& dict = store.dict();
+  store.Scan(TriplePattern(), [&](const Triple& t) {
+    os << dict.Lookup(t.s).ToNTriples() << ' ' << dict.Lookup(t.p).ToNTriples()
+       << ' ' << dict.Lookup(t.o).ToNTriples() << " .\n";
+    return true;
+  });
+  return Status::OK();
+}
+
+}  // namespace kgnet::rdf

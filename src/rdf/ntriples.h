@@ -1,0 +1,40 @@
+// N-Triples serialization: parsing and writing line-oriented RDF.
+#ifndef KGNET_RDF_NTRIPLES_H_
+#define KGNET_RDF_NTRIPLES_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace kgnet::rdf {
+
+/// A decoded N-Triples line.
+struct ParsedTriple {
+  Term s;
+  Term p;
+  Term o;
+};
+
+/// Parses one N-Triples line ("<s> <p> <o> ." with literal/blank forms).
+/// Comment lines (leading '#') and blank lines yield kNotFound, which callers
+/// should skip.
+Result<ParsedTriple> ParseNTriplesLine(std::string_view line);
+
+/// Parses an entire N-Triples document into `store`.
+/// Returns the number of triples added.
+Result<size_t> LoadNTriples(std::string_view document, TripleStore* store);
+
+/// Reads an N-Triples file from disk into `store`.
+Result<size_t> LoadNTriplesFile(const std::string& path, TripleStore* store);
+
+/// Writes every triple in `store` to `os` in N-Triples syntax
+/// (SPO order, deterministic).
+Status WriteNTriples(const TripleStore& store, std::ostream& os);
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_NTRIPLES_H_

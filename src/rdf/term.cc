@@ -1,0 +1,92 @@
+#include "rdf/term.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace kgnet::rdf {
+
+Term Term::IntLiteral(int64_t value) {
+  return TypedLiteral(std::to_string(value), std::string(kXsdInteger));
+}
+
+Term Term::DoubleLiteral(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return TypedLiteral(buf, std::string(kXsdDouble));
+}
+
+bool Term::AsDouble(double* out) const {
+  if (!is_literal() || lexical.empty()) return false;
+  const char* begin = lexical.data();
+  const char* end = begin + lexical.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"";
+      for (char c : lexical) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+      }
+      out += '"';
+      if (!lang.empty()) {
+        out += '@';
+        out += lang;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Term::EncodeKey() const {
+  // A compact tagged encoding; tags cannot collide with IRI content because
+  // they appear in a fixed leading position.
+  std::string key;
+  key.reserve(lexical.size() + datatype.size() + lang.size() + 4);
+  switch (kind) {
+    case TermKind::kIri:
+      key += 'I';
+      break;
+    case TermKind::kLiteral:
+      key += 'L';
+      break;
+    case TermKind::kBlank:
+      key += 'B';
+      break;
+  }
+  key += lexical;
+  key += '\x01';
+  key += datatype;
+  key += '\x01';
+  key += lang;
+  return key;
+}
+
+}  // namespace kgnet::rdf

@@ -1,0 +1,95 @@
+// RDF terms: IRIs, literals and blank nodes.
+#ifndef KGNET_RDF_TERM_H_
+#define KGNET_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace kgnet::rdf {
+
+/// Dense integer handle for an interned Term. Id 0 is reserved and never
+/// refers to a term; pattern-matching code uses it as the wildcard.
+using TermId = uint32_t;
+
+/// The reserved "no term / any term" id.
+inline constexpr TermId kNullTermId = 0;
+
+/// The syntactic category of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// An RDF term value.
+///
+/// `lexical` holds the IRI string (without angle brackets), the literal
+/// lexical form (without quotes) or the blank-node label (without "_:").
+/// For literals, `datatype` optionally holds the datatype IRI and `lang`
+/// the language tag; both are empty when absent.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+  std::string datatype;
+  std::string lang;
+
+  Term() = default;
+  Term(TermKind k, std::string lex) : kind(k), lexical(std::move(lex)) {}
+
+  /// Creates an IRI term.
+  static Term Iri(std::string iri) {
+    return Term(TermKind::kIri, std::move(iri));
+  }
+  /// Creates a plain string literal.
+  static Term Literal(std::string value) {
+    return Term(TermKind::kLiteral, std::move(value));
+  }
+  /// Creates a typed literal.
+  static Term TypedLiteral(std::string value, std::string datatype_iri) {
+    Term t(TermKind::kLiteral, std::move(value));
+    t.datatype = std::move(datatype_iri);
+    return t;
+  }
+  /// Creates an xsd:integer literal.
+  static Term IntLiteral(int64_t value);
+  /// Creates an xsd:double literal.
+  static Term DoubleLiteral(double value);
+  /// Creates a blank node.
+  static Term Blank(std::string label) {
+    return Term(TermKind::kBlank, std::move(label));
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  /// Attempts to read the literal as a double; returns false for non-numeric
+  /// content or non-literals.
+  bool AsDouble(double* out) const;
+
+  /// N-Triples serialization of this term (e.g. `<iri>`, `"lit"^^<dt>`).
+  std::string ToNTriples() const;
+
+  /// Canonical single-string key used for dictionary interning.
+  std::string EncodeKey() const;
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && lexical == o.lexical && datatype == o.datatype &&
+           lang == o.lang;
+  }
+};
+
+/// Well-known IRIs.
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_TERM_H_

@@ -1,0 +1,60 @@
+// Dictionary-encoded triples and triple patterns.
+#ifndef KGNET_RDF_TRIPLE_H_
+#define KGNET_RDF_TRIPLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "rdf/term.h"
+
+namespace kgnet::rdf {
+
+/// A dictionary-encoded RDF triple.
+struct Triple {
+  TermId s = kNullTermId;
+  TermId p = kNullTermId;
+  TermId o = kNullTermId;
+
+  Triple() = default;
+  Triple(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+  bool operator<(const Triple& t) const {
+    if (s != t.s) return s < t.s;
+    if (p != t.p) return p < t.p;
+    return o < t.o;
+  }
+};
+
+/// A triple pattern: kNullTermId in any position matches every term.
+struct TriplePattern {
+  TermId s = kNullTermId;
+  TermId p = kNullTermId;
+  TermId o = kNullTermId;
+
+  TriplePattern() = default;
+  TriplePattern(TermId subject, TermId predicate, TermId object)
+      : s(subject), p(predicate), o(object) {}
+
+  bool Matches(const Triple& t) const {
+    return (s == kNullTermId || s == t.s) &&
+           (p == kNullTermId || p == t.p) &&
+           (o == kNullTermId || o == t.o);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t h = std::hash<uint64_t>()(
+        (static_cast<uint64_t>(t.s) << 32) | t.p);
+    return h * 1000003u ^ std::hash<uint32_t>()(t.o);
+  }
+};
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_TRIPLE_H_

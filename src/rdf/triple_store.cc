@@ -1,0 +1,276 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <array>
+
+namespace kgnet::rdf {
+
+namespace {
+
+// Comparator over permuted key order.
+struct KeyLess {
+  IndexOrder order;
+  bool operator()(const Triple& a, const Triple& b) const {
+    auto ka = Permute(order, a);
+    auto kb = Permute(order, b);
+    return ka < kb;
+  }
+  static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t) {
+    switch (order) {
+      case IndexOrder::kSpo:
+        return {t.s, t.p, t.o};
+      case IndexOrder::kPos:
+        return {t.p, t.o, t.s};
+      case IndexOrder::kOsp:
+        return {t.o, t.s, t.p};
+    }
+    return {0, 0, 0};
+  }
+};
+
+}  // namespace
+
+TripleStore::TripleStore() {
+  spo_.order = IndexOrder::kSpo;
+  pos_.order = IndexOrder::kPos;
+  osp_.order = IndexOrder::kOsp;
+}
+
+std::array<TermId, 3> TripleStore::Permute(IndexOrder order, const Triple& t) {
+  return KeyLess::Permute(order, t);
+}
+
+Triple TripleStore::Unpermute(IndexOrder order,
+                              const std::array<TermId, 3>& k) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return Triple(k[0], k[1], k[2]);
+    case IndexOrder::kPos:
+      return Triple(k[2], k[0], k[1]);
+    case IndexOrder::kOsp:
+      return Triple(k[1], k[2], k[0]);
+  }
+  return Triple();
+}
+
+bool TripleStore::Insert(const Triple& t) {
+  if (!membership_.insert(t).second) return false;
+  pending_.push_back(t);
+  return true;
+}
+
+bool TripleStore::Insert(const Term& s, const Term& p, const Term& o) {
+  return Insert(Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)));
+}
+
+bool TripleStore::InsertIris(std::string_view s, std::string_view p,
+                             std::string_view o) {
+  return Insert(Triple(dict_.InternIri(s), dict_.InternIri(p),
+                       dict_.InternIri(o)));
+}
+
+void TripleStore::FlushInserts() const {
+  if (pending_.empty()) return;
+  for (Index* idx : {&spo_, &pos_, &osp_}) {
+    size_t old_size = idx->rows.size();
+    idx->rows.insert(idx->rows.end(), pending_.begin(), pending_.end());
+    KeyLess less{idx->order};
+    std::sort(idx->rows.begin() + old_size, idx->rows.end(), less);
+    std::inplace_merge(idx->rows.begin(), idx->rows.begin() + old_size,
+                       idx->rows.end(), less);
+  }
+  pending_.clear();
+}
+
+bool TripleStore::Erase(const Triple& t) {
+  auto it = membership_.find(t);
+  if (it == membership_.end()) return false;
+  membership_.erase(it);
+  FlushInserts();
+  for (Index* idx : {&spo_, &pos_, &osp_}) {
+    KeyLess less{idx->order};
+    auto range = std::equal_range(idx->rows.begin(), idx->rows.end(), t, less);
+    idx->rows.erase(range.first, range.second);
+  }
+  return true;
+}
+
+size_t TripleStore::EraseMatching(const TriplePattern& pattern) {
+  std::vector<Triple> victims = Match(pattern);
+  for (const Triple& t : victims) Erase(t);
+  return victims.size();
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  return membership_.count(t) > 0;
+}
+
+std::pair<size_t, size_t> TripleStore::PrefixRange(const Index& idx, TermId k0,
+                                                   TermId k1) const {
+  const auto& rows = idx.rows;
+  auto key_of = [&](const Triple& t) { return KeyLess::Permute(idx.order, t); };
+
+  auto lo_it = rows.begin();
+  auto hi_it = rows.end();
+  if (k0 != kNullTermId) {
+    lo_it = std::lower_bound(rows.begin(), rows.end(), k0,
+                             [&](const Triple& t, TermId v) {
+                               return key_of(t)[0] < v;
+                             });
+    hi_it = std::upper_bound(lo_it, rows.end(), k0,
+                             [&](TermId v, const Triple& t) {
+                               return v < key_of(t)[0];
+                             });
+    if (k1 != kNullTermId) {
+      auto lo2 = std::lower_bound(lo_it, hi_it, k1,
+                                  [&](const Triple& t, TermId v) {
+                                    return key_of(t)[1] < v;
+                                  });
+      auto hi2 = std::upper_bound(lo2, hi_it, k1,
+                                  [&](TermId v, const Triple& t) {
+                                    return v < key_of(t)[1];
+                                  });
+      lo_it = lo2;
+      hi_it = hi2;
+    }
+  }
+  return {static_cast<size_t>(lo_it - rows.begin()),
+          static_cast<size_t>(hi_it - rows.begin())};
+}
+
+void TripleStore::ScanIndex(const Index& idx, const TriplePattern& pattern,
+                            const std::function<bool(const Triple&)>& fn) const {
+  std::array<TermId, 3> key =
+      KeyLess::Permute(idx.order, Triple(pattern.s, pattern.p, pattern.o));
+  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
+  for (size_t i = lo; i < hi; ++i) {
+    const Triple& t = idx.rows[i];
+    if (pattern.Matches(t)) {
+      if (!fn(t)) return;
+    }
+  }
+}
+
+void TripleStore::Scan(const TriplePattern& pattern,
+                       const std::function<bool(const Triple&)>& fn) const {
+  FlushInserts();
+  // Pick the index whose permuted key has the longest bound prefix.
+  const bool s = pattern.s != kNullTermId;
+  const bool p = pattern.p != kNullTermId;
+  const bool o = pattern.o != kNullTermId;
+  const Index* idx = &spo_;
+  if (s) {
+    idx = &spo_;  // (s,?,?), (s,p,?), (s,p,o) -> SPO; (s,?,o) -> OSP
+    if (o && !p) idx = &osp_;
+  } else if (p) {
+    idx = &pos_;  // (?,p,?), (?,p,o)
+  } else if (o) {
+    idx = &osp_;  // (?,?,o)
+  }
+  ScanIndex(*idx, pattern, fn);
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  Scan(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+size_t TripleStore::Count(const TriplePattern& pattern) const {
+  size_t n = 0;
+  Scan(pattern, [&](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+size_t TripleStore::EstimateCardinality(const TriplePattern& pattern) const {
+  FlushInserts();
+  const bool s = pattern.s != kNullTermId;
+  const bool p = pattern.p != kNullTermId;
+  const bool o = pattern.o != kNullTermId;
+  if (s && p && o) return Contains(Triple(pattern.s, pattern.p, pattern.o)) ? 1 : 0;
+  if (!s && !p && !o) return size();
+
+  const Index* idx = nullptr;
+  TermId k0 = kNullTermId, k1 = kNullTermId;
+  if (s && p) {
+    idx = &spo_;
+    k0 = pattern.s;
+    k1 = pattern.p;
+  } else if (p && o) {
+    idx = &pos_;
+    k0 = pattern.p;
+    k1 = pattern.o;
+  } else if (s && o) {
+    idx = &osp_;
+    k0 = pattern.o;
+    k1 = pattern.s;
+  } else if (s) {
+    idx = &spo_;
+    k0 = pattern.s;
+  } else if (p) {
+    idx = &pos_;
+    k0 = pattern.p;
+  } else {
+    idx = &osp_;
+    k0 = pattern.o;
+  }
+  auto [lo, hi] = PrefixRange(*idx, k0, k1);
+  return hi - lo;
+}
+
+size_t TripleStore::size() const {
+  return membership_.size();
+}
+
+size_t TripleStore::NumDistinctSubjects() const {
+  FlushInserts();
+  size_t n = 0;
+  TermId prev = kNullTermId;
+  bool first = true;
+  for (const Triple& t : spo_.rows) {
+    if (first || t.s != prev) {
+      ++n;
+      prev = t.s;
+      first = false;
+    }
+  }
+  return n;
+}
+
+size_t TripleStore::NumDistinctPredicates() const {
+  FlushInserts();
+  size_t n = 0;
+  TermId prev = kNullTermId;
+  bool first = true;
+  for (const Triple& t : pos_.rows) {
+    if (first || t.p != prev) {
+      ++n;
+      prev = t.p;
+      first = false;
+    }
+  }
+  return n;
+}
+
+size_t TripleStore::NumDistinctObjects() const {
+  FlushInserts();
+  size_t n = 0;
+  TermId prev = kNullTermId;
+  bool first = true;
+  for (const Triple& t : osp_.rows) {
+    if (first || t.o != prev) {
+      ++n;
+      prev = t.o;
+      first = false;
+    }
+  }
+  return n;
+}
+
+}  // namespace kgnet::rdf

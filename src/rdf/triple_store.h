@@ -1,0 +1,114 @@
+// An in-memory dictionary-encoded triple store with three permuted indexes.
+#ifndef KGNET_RDF_TRIPLE_STORE_H_
+#define KGNET_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace kgnet::rdf {
+
+/// Which of the three collation orders an index stores.
+enum class IndexOrder { kSpo, kPos, kOsp };
+
+/// An in-memory triple store.
+///
+/// Triples are dictionary-encoded (see Dictionary) and maintained in three
+/// sorted permutation indexes — SPO, POS and OSP — mirroring the layout of
+/// classical RDF engines (RDF-3X, Virtuoso). Lookups with any combination of
+/// bound positions are answered by a binary-searched range scan on the most
+/// selective index. Inserts are buffered and merged lazily so that bulk
+/// loading stays O(n log n).
+///
+/// The store is single-writer; readers must not run concurrently with
+/// mutation (the KGNet pipeline is phase-structured, so this suffices).
+class TripleStore {
+ public:
+  TripleStore();
+
+  /// The dictionary used to encode all triples in this store.
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Inserts an encoded triple. Duplicate inserts are ignored.
+  /// Returns true if the triple was new.
+  bool Insert(const Triple& t);
+
+  /// Encodes and inserts a (subject, predicate, object) of Terms.
+  bool Insert(const Term& s, const Term& p, const Term& o);
+
+  /// Convenience for IRI-only triples.
+  bool InsertIris(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Removes a triple. Returns true if it was present.
+  bool Erase(const Triple& t);
+
+  /// Removes every triple matching `pattern`; returns the number removed.
+  size_t EraseMatching(const TriplePattern& pattern);
+
+  /// True if the exact triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// Calls `fn` for every triple matching `pattern`. If `fn` returns false,
+  /// iteration stops early.
+  void Scan(const TriplePattern& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+
+  /// Collects all triples matching `pattern`.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Exact number of triples matching `pattern` (counted by scan).
+  size_t Count(const TriplePattern& pattern) const;
+
+  /// O(log n) cardinality estimate for a pattern; used by the SPARQL
+  /// optimizer. Exact for fully-bound/unbound patterns and for (s,p,?),
+  /// (?,p,o), (s,?,?), (?,?,o), (?,p,?) prefixes of an index.
+  size_t EstimateCardinality(const TriplePattern& pattern) const;
+
+  /// Total number of triples.
+  size_t size() const;
+
+  /// Number of distinct subjects / predicates / objects (exact, O(n)).
+  size_t NumDistinctSubjects() const;
+  size_t NumDistinctPredicates() const;
+  size_t NumDistinctObjects() const;
+
+  /// Forces pending inserts into the sorted indexes. Called automatically by
+  /// read operations; exposed for benchmarks that want to exclude merge time.
+  void FlushInserts() const;
+
+ private:
+  struct Index {
+    IndexOrder order;
+    // Sorted in permuted order.
+    mutable std::vector<Triple> rows;
+  };
+
+  static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t);
+  static Triple Unpermute(IndexOrder order, const std::array<TermId, 3>& k);
+
+  // Returns [lo, hi) bounds in `idx` for the bound prefix of `pattern`
+  // (after permutation); remaining free positions are filtered by caller.
+  std::pair<size_t, size_t> PrefixRange(const Index& idx, TermId k0,
+                                        TermId k1) const;
+
+  void ScanIndex(const Index& idx, const TriplePattern& pattern,
+                 const std::function<bool(const Triple&)>& fn) const;
+
+  Dictionary dict_;
+  mutable Index spo_;
+  mutable Index pos_;
+  mutable Index osp_;
+  mutable std::vector<Triple> pending_;
+  mutable std::unordered_set<Triple, TripleHash> membership_;
+};
+
+}  // namespace kgnet::rdf
+
+#endif  // KGNET_RDF_TRIPLE_STORE_H_

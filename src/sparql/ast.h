@@ -1,0 +1,148 @@
+// Abstract syntax tree for the KGNet SPARQL subset.
+#ifndef KGNET_SPARQL_AST_H_
+#define KGNET_SPARQL_AST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace kgnet::sparql {
+
+/// A position in a triple pattern: either a variable or a constant term.
+struct NodeRef {
+  bool is_var = false;
+  std::string var;   // set when is_var
+  rdf::Term term;    // set when !is_var
+
+  static NodeRef Var(std::string name) {
+    NodeRef r;
+    r.is_var = true;
+    r.var = std::move(name);
+    return r;
+  }
+  static NodeRef Const(rdf::Term t) {
+    NodeRef r;
+    r.is_var = false;
+    r.term = std::move(t);
+    return r;
+  }
+};
+
+/// A triple pattern with variables allowed in any position.
+struct PatternTriple {
+  NodeRef s;
+  NodeRef p;
+  NodeRef o;
+};
+
+/// Expression node kinds (FILTER conditions and SELECT projections).
+enum class ExprOp {
+  kVar,
+  kConst,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kCall,  // user-defined function call, e.g. sql:UDFS.getNodeClass(...)
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// An expression tree node.
+struct Expr {
+  ExprOp op = ExprOp::kConst;
+  std::string var;            // kVar
+  rdf::Term constant;         // kConst
+  std::string fn;             // kCall: function name as written
+  std::vector<ExprPtr> args;  // operands / call arguments
+
+  static ExprPtr Var(std::string name) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kVar;
+    e->var = std::move(name);
+    return e;
+  }
+  static ExprPtr Const(rdf::Term t) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kConst;
+    e->constant = std::move(t);
+    return e;
+  }
+  static ExprPtr Binary(ExprOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kCall;
+    e->fn = std::move(name);
+    e->args = std::move(args);
+    return e;
+  }
+};
+
+/// One item of a SELECT clause: an expression with an optional alias.
+/// A bare variable `?x` is an Expr of kind kVar with alias "x".
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct Query;
+
+/// A group graph pattern `{ ... }`: conjunctive triple patterns, FILTERs,
+/// inline sub-SELECTs, UNION alternatives and OPTIONAL groups.
+struct GraphPattern {
+  std::vector<PatternTriple> triples;
+  std::vector<ExprPtr> filters;
+  std::vector<std::shared_ptr<Query>> subselects;
+  /// Each entry is one `{A} UNION {B} UNION ...` chain: a list of
+  /// alternative patterns whose solutions are unioned.
+  std::vector<std::vector<GraphPattern>> unions;
+  /// `OPTIONAL { ... }` groups: left-joined against the running solutions.
+  std::vector<GraphPattern> optionals;
+
+  bool Empty() const {
+    return triples.empty() && filters.empty() && subselects.empty() &&
+           unions.empty() && optionals.empty();
+  }
+};
+
+/// Query forms supported by the engine.
+enum class QueryKind {
+  kSelect,
+  kAsk,
+  kInsertData,   // INSERT DATA { ground triples }
+  kInsertWhere,  // INSERT { template } WHERE { pattern }
+  kDeleteWhere,  // DELETE { template } WHERE { pattern }
+};
+
+/// A parsed query.
+struct Query {
+  QueryKind kind = QueryKind::kSelect;
+  std::map<std::string, std::string> prefixes;  // prefix -> IRI base
+  bool distinct = false;
+  bool select_all = false;          // SELECT *
+  std::vector<SelectItem> select;   // empty when select_all
+  GraphPattern where;
+  std::vector<PatternTriple> update_template;  // INSERT/DELETE template
+  int64_t limit = -1;   // -1 = no limit
+  int64_t offset = 0;
+  std::string into_graph;  // INSERT INTO <g> target, informational
+};
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_AST_H_

@@ -1,0 +1,589 @@
+#include "sparql/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sparql/parser.h"
+
+namespace kgnet::sparql {
+
+namespace {
+
+using rdf::kNullTermId;
+using rdf::Term;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+/// Maps variable names to dense slots for the duration of one query.
+class VarTable {
+ public:
+  int SlotOf(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    index_.emplace(name, slot);
+    names_.push_back(name);
+    return slot;
+  }
+  int Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+  size_t size() const { return names_.size(); }
+  const std::string& name(int slot) const { return names_[slot]; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+using Solution = std::vector<TermId>;  // slot -> term id (0 = unbound)
+
+/// Collects the variables an expression mentions.
+void CollectExprVars(const ExprPtr& e, std::set<std::string>* out) {
+  if (!e) return;
+  if (e->op == ExprOp::kVar) out->insert(e->var);
+  for (const auto& a : e->args) CollectExprVars(a, out);
+}
+
+struct CompiledPattern {
+  int s_slot = -1;  // -1 = constant
+  int p_slot = -1;
+  int o_slot = -1;
+  TermId s_const = kNullTermId;
+  TermId p_const = kNullTermId;
+  TermId o_const = kNullTermId;
+};
+
+/// Execution context for one query.
+struct ExecContext {
+  rdf::TripleStore* store;
+  UdfRegistry* udfs;
+  VarTable vars;
+};
+
+TermId ResolveNode(const NodeRef& n, ExecContext* ctx, int* slot) {
+  if (n.is_var) {
+    *slot = ctx->vars.SlotOf(n.var);
+    return kNullTermId;
+  }
+  *slot = -1;
+  // A constant never present in the dictionary cannot match; we intern it
+  // so updates can still create it, and matching degrades to id-compare.
+  return ctx->store->dict().Intern(n.term);
+}
+
+CompiledPattern CompilePattern(const PatternTriple& pt, ExecContext* ctx) {
+  CompiledPattern cp;
+  cp.s_const = ResolveNode(pt.s, ctx, &cp.s_slot);
+  cp.p_const = ResolveNode(pt.p, ctx, &cp.p_slot);
+  cp.o_const = ResolveNode(pt.o, ctx, &cp.o_slot);
+  return cp;
+}
+
+TriplePattern BindPattern(const CompiledPattern& cp, const Solution& sol) {
+  TriplePattern p;
+  p.s = cp.s_slot >= 0 ? sol[cp.s_slot] : cp.s_const;
+  p.p = cp.p_slot >= 0 ? sol[cp.p_slot] : cp.p_const;
+  p.o = cp.o_slot >= 0 ? sol[cp.o_slot] : cp.o_const;
+  return p;
+}
+
+/// Truthiness of a term under SPARQL effective-boolean-value rules
+/// (simplified).
+bool EffectiveBool(const Term& t) {
+  if (t.is_literal()) {
+    if (t.lexical == "true") return true;
+    if (t.lexical == "false") return false;
+    double d;
+    if (t.AsDouble(&d)) return d != 0.0;
+    return !t.lexical.empty();
+  }
+  return true;  // IRIs / blanks are truthy
+}
+
+Term BoolTerm(bool b) {
+  return Term::TypedLiteral(b ? "true" : "false",
+                            "http://www.w3.org/2001/XMLSchema#boolean");
+}
+
+Result<Term> EvalExpr(const ExprPtr& e, ExecContext* ctx,
+                      const Solution& sol) {
+  switch (e->op) {
+    case ExprOp::kVar: {
+      int slot = ctx->vars.Find(e->var);
+      if (slot < 0 || sol[slot] == kNullTermId)
+        return Status::FailedPrecondition("unbound variable ?" + e->var);
+      return ctx->store->dict().Lookup(sol[slot]);
+    }
+    case ExprOp::kConst:
+      return e->constant;
+    case ExprOp::kNot: {
+      KGNET_ASSIGN_OR_RETURN(Term inner, EvalExpr(e->args[0], ctx, sol));
+      return BoolTerm(!EffectiveBool(inner));
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
+      bool lv = EffectiveBool(l);
+      if (e->op == ExprOp::kAnd && !lv) return BoolTerm(false);
+      if (e->op == ExprOp::kOr && lv) return BoolTerm(true);
+      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
+      return BoolTerm(EffectiveBool(r));
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
+      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
+      double ld, rd;
+      int cmp;
+      if (l.AsDouble(&ld) && r.AsDouble(&rd)) {
+        cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
+      } else {
+        // Kind-aware lexical comparison.
+        if (l.kind != r.kind && (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
+          return BoolTerm(e->op == ExprOp::kNe);
+        cmp = l.lexical.compare(r.lexical);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+        if (cmp == 0 && (l.datatype != r.datatype || l.lang != r.lang) &&
+            (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
+          cmp = 1;
+      }
+      bool v = false;
+      switch (e->op) {
+        case ExprOp::kEq:
+          v = cmp == 0;
+          break;
+        case ExprOp::kNe:
+          v = cmp != 0;
+          break;
+        case ExprOp::kLt:
+          v = cmp < 0;
+          break;
+        case ExprOp::kLe:
+          v = cmp <= 0;
+          break;
+        case ExprOp::kGt:
+          v = cmp > 0;
+          break;
+        case ExprOp::kGe:
+          v = cmp >= 0;
+          break;
+        default:
+          break;
+      }
+      return BoolTerm(v);
+    }
+    case ExprOp::kCall: {
+      std::vector<Term> args;
+      args.reserve(e->args.size());
+      for (const auto& a : e->args) {
+        KGNET_ASSIGN_OR_RETURN(Term t, EvalExpr(a, ctx, sol));
+        args.push_back(std::move(t));
+      }
+      return ctx->udfs->Call(e->fn, args);
+    }
+  }
+  return Status::Internal("unhandled expression op");
+}
+
+/// Evaluates the BGP of `gp` (with eager FILTER application) starting from
+/// `seeds`; appends full solutions to `out`.
+Status EvalPatterns(const GraphPattern& gp, ExecContext* ctx,
+                    std::vector<Solution> seeds,
+                    std::vector<Solution>* out) {
+  std::vector<CompiledPattern> patterns;
+  patterns.reserve(gp.triples.size());
+  for (const auto& pt : gp.triples)
+    patterns.push_back(CompilePattern(pt, ctx));
+
+  // Pre-resolve filter variable slots.
+  struct CompiledFilter {
+    ExprPtr expr;
+    std::vector<int> slots;
+    bool applied = false;
+  };
+  std::vector<CompiledFilter> filters;
+  for (const auto& f : gp.filters) {
+    CompiledFilter cf;
+    cf.expr = f;
+    std::set<std::string> names;
+    CollectExprVars(f, &names);
+    for (const auto& n : names) cf.slots.push_back(ctx->vars.SlotOf(n));
+    filters.push_back(std::move(cf));
+  }
+
+  // Resize seed solutions to the full variable count.
+  const size_t nvars = ctx->vars.size();
+  for (auto& s : seeds) s.resize(nvars, kNullTermId);
+
+  std::vector<bool> used(patterns.size(), false);
+
+  // Recursive greedy join.
+  struct Rec {
+    ExecContext* ctx;
+    const std::vector<CompiledPattern>& patterns;
+    std::vector<CompiledFilter>& filters;
+    std::vector<bool>& used;
+    std::vector<Solution>* out;
+    Status status = Status::OK();
+
+    bool FiltersPass(Solution& sol, std::vector<bool>& applied) {
+      for (size_t i = 0; i < filters.size(); ++i) {
+        if (applied[i]) continue;
+        bool ready = true;
+        for (int slot : filters[i].slots) {
+          if (sol[slot] == kNullTermId) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        auto v = EvalExpr(filters[i].expr, ctx, sol);
+        if (!v.ok()) {
+          status = v.status();
+          return false;
+        }
+        applied[i] = true;
+        if (!EffectiveBool(*v)) return false;
+      }
+      return true;
+    }
+
+    void Run(Solution& sol, std::vector<bool>& applied, size_t remaining) {
+      if (!status.ok()) return;
+      if (remaining == 0) {
+        out->push_back(sol);
+        return;
+      }
+      // Pick the cheapest unused pattern under the current bindings.
+      int best = -1;
+      size_t best_card = SIZE_MAX;
+      for (size_t i = 0; i < patterns.size(); ++i) {
+        if (used[i]) continue;
+        TriplePattern bound = BindPattern(patterns[i], sol);
+        size_t card = ctx->store->EstimateCardinality(bound);
+        if (card < best_card) {
+          best_card = card;
+          best = static_cast<int>(i);
+        }
+      }
+      const CompiledPattern& cp = patterns[best];
+      used[best] = true;
+      TriplePattern bound = BindPattern(cp, sol);
+      ctx->store->Scan(bound, [&](const Triple& t) {
+        // Bind free positions; check join consistency for repeated vars.
+        TermId olds = cp.s_slot >= 0 ? sol[cp.s_slot] : kNullTermId;
+        TermId oldp = cp.p_slot >= 0 ? sol[cp.p_slot] : kNullTermId;
+        TermId oldo = cp.o_slot >= 0 ? sol[cp.o_slot] : kNullTermId;
+        if (cp.s_slot >= 0) sol[cp.s_slot] = t.s;
+        if (cp.p_slot >= 0) sol[cp.p_slot] = t.p;
+        if (cp.o_slot >= 0) sol[cp.o_slot] = t.o;
+        // Repeated-variable consistency (e.g. ?x <cites> ?x): after all
+        // assignments, every position must still see its own value.
+        bool consistent = (cp.s_slot < 0 || sol[cp.s_slot] == t.s) &&
+                          (cp.p_slot < 0 || sol[cp.p_slot] == t.p) &&
+                          (cp.o_slot < 0 || sol[cp.o_slot] == t.o);
+        if (consistent) {
+          std::vector<bool> applied_copy = applied;
+          if (FiltersPass(sol, applied_copy)) {
+            Run(sol, applied_copy, remaining - 1);
+          }
+        }
+        if (cp.s_slot >= 0) sol[cp.s_slot] = olds;
+        if (cp.p_slot >= 0) sol[cp.p_slot] = oldp;
+        if (cp.o_slot >= 0) sol[cp.o_slot] = oldo;
+        return status.ok();
+      });
+      used[best] = false;
+    }
+  };
+
+  Rec rec{ctx, patterns, filters, used, out};
+  for (auto& seed : seeds) {
+    std::vector<bool> applied(filters.size(), false);
+    if (patterns.empty()) {
+      // Filters may still apply to seed bindings.
+      std::vector<bool> ac = applied;
+      if (rec.FiltersPass(seed, ac)) out->push_back(seed);
+    } else {
+      rec.Run(seed, applied, patterns.size());
+    }
+    if (!rec.status.ok()) return rec.status;
+  }
+  return Status::OK();
+}
+
+/// Evaluates a full group pattern: BGP + filters, then UNION chains, then
+/// OPTIONAL left-joins. Returns the solution set (each padded to the
+/// current variable-table size).
+Status EvalGroup(const GraphPattern& gp, ExecContext* ctx,
+                 std::vector<Solution> seeds, std::vector<Solution>* out) {
+  std::vector<Solution> sols;
+  KGNET_RETURN_IF_ERROR(EvalPatterns(gp, ctx, std::move(seeds), &sols));
+
+  // UNION chains: each group multiplies the solution set by its matching
+  // alternatives.
+  for (const auto& alternatives : gp.unions) {
+    std::vector<Solution> merged;
+    for (const GraphPattern& alt : alternatives) {
+      std::vector<Solution> branch;
+      KGNET_RETURN_IF_ERROR(EvalGroup(alt, ctx, sols, &branch));
+      merged.insert(merged.end(), branch.begin(), branch.end());
+    }
+    sols = std::move(merged);
+  }
+
+  // OPTIONAL groups: left join — keep the original solution when the
+  // optional pattern has no match.
+  for (const GraphPattern& opt : gp.optionals) {
+    std::vector<Solution> joined;
+    for (auto& sol : sols) {
+      std::vector<Solution> ext;
+      KGNET_RETURN_IF_ERROR(EvalGroup(opt, ctx, {sol}, &ext));
+      if (ext.empty()) {
+        joined.push_back(std::move(sol));
+      } else {
+        joined.insert(joined.end(), ext.begin(), ext.end());
+      }
+    }
+    sols = std::move(joined);
+  }
+
+  // Nested evaluation may have grown the variable table.
+  const size_t nvars = ctx->vars.size();
+  for (auto& s : sols) s.resize(nvars, kNullTermId);
+  out->insert(out->end(), sols.begin(), sols.end());
+  return Status::OK();
+}
+
+std::string RowKey(const std::vector<Term>& row) {
+  std::string key;
+  for (const Term& t : row) {
+    key += t.EncodeKey();
+    key += '\x02';
+  }
+  return key;
+}
+
+}  // namespace
+
+int QueryResult::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i)
+    if (columns[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::string QueryResult::ToTable() const {
+  std::vector<size_t> width(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < columns.size(); ++i) width[i] = columns[i].size();
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToNTriples());
+      width[i] = std::max(width[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    os << (i ? " | " : "");
+    os << columns[i] << std::string(width[i] - columns[i].size(), ' ');
+  }
+  os << "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      os << (i ? " | " : "");
+      os << line[i] << std::string(width[i] - line[i].size(), ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<QueryResult> QueryEngine::ExecuteString(std::string_view text) {
+  KGNET_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  return Execute(q);
+}
+
+size_t QueryEngine::EstimateWhereCardinality(const Query& query) const {
+  // Product of the per-pattern estimates with all variables free; an upper
+  // bound that is cheap to compute.
+  size_t est = 1;
+  for (const auto& pt : query.where.triples) {
+    TriplePattern p;
+    // A constant that was never interned cannot match anything.
+    if (!pt.s.is_var) {
+      p.s = store_->dict().Find(pt.s.term);
+      if (p.s == kNullTermId) return 0;
+    }
+    if (!pt.p.is_var) {
+      p.p = store_->dict().Find(pt.p.term);
+      if (p.p == kNullTermId) return 0;
+    }
+    if (!pt.o.is_var) {
+      p.o = store_->dict().Find(pt.o.term);
+      if (p.o == kNullTermId) return 0;
+    }
+    size_t card = store_->EstimateCardinality(p);
+    if (card == 0) return 0;
+    // Saturating multiply.
+    if (est > SIZE_MAX / card) return SIZE_MAX;
+    est *= card;
+  }
+  return est;
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& query) {
+  ExecContext ctx{store_, &udfs_, {}};
+
+  // 1. Evaluate sub-SELECTs; seed the outer BGP with their solutions.
+  std::vector<Solution> seeds;
+  seeds.emplace_back();  // one empty solution
+  for (const auto& sub : query.where.subselects) {
+    KGNET_ASSIGN_OR_RETURN(QueryResult sub_result, Execute(*sub));
+    // Register subselect output columns as variables.
+    std::vector<int> slots;
+    for (const auto& col : sub_result.columns)
+      slots.push_back(ctx.vars.SlotOf(col));
+    std::vector<Solution> joined;
+    for (const auto& seed : seeds) {
+      for (const auto& row : sub_result.rows) {
+        Solution s = seed;
+        s.resize(ctx.vars.size(), kNullTermId);
+        bool consistent = true;
+        for (size_t i = 0; i < slots.size(); ++i) {
+          TermId id = store_->dict().Intern(row[i]);
+          if (s[slots[i]] != kNullTermId && s[slots[i]] != id) {
+            consistent = false;
+            break;
+          }
+          s[slots[i]] = id;
+        }
+        if (consistent) joined.push_back(std::move(s));
+      }
+    }
+    seeds = std::move(joined);
+  }
+
+  // Pre-register variables from triples so solution vectors are sized.
+  for (const auto& pt : query.where.triples) {
+    if (pt.s.is_var) ctx.vars.SlotOf(pt.s.var);
+    if (pt.p.is_var) ctx.vars.SlotOf(pt.p.var);
+    if (pt.o.is_var) ctx.vars.SlotOf(pt.o.var);
+  }
+
+  // 2. Evaluate the group pattern (BGP, filters, UNION, OPTIONAL).
+  std::vector<Solution> solutions;
+  KGNET_RETURN_IF_ERROR(
+      EvalGroup(query.where, &ctx, std::move(seeds), &solutions));
+  for (auto& s : solutions) s.resize(ctx.vars.size(), kNullTermId);
+
+  QueryResult result;
+
+  switch (query.kind) {
+    case QueryKind::kAsk: {
+      result.ask_result = !solutions.empty();
+      return result;
+    }
+    case QueryKind::kInsertData: {
+      for (const auto& pt : query.update_template) {
+        if (pt.s.is_var || pt.p.is_var || pt.o.is_var)
+          return Status::InvalidArgument(
+              "INSERT DATA requires ground triples");
+        if (store_->Insert(pt.s.term, pt.p.term, pt.o.term))
+          ++result.num_inserted;
+      }
+      return result;
+    }
+    case QueryKind::kInsertWhere:
+    case QueryKind::kDeleteWhere: {
+      const bool inserting = query.kind == QueryKind::kInsertWhere;
+      std::vector<Triple> batch;
+      for (const auto& sol : solutions) {
+        for (const auto& pt : query.update_template) {
+          auto resolve = [&](const NodeRef& n) -> TermId {
+            if (!n.is_var) return store_->dict().Intern(n.term);
+            int slot = ctx.vars.Find(n.var);
+            return slot < 0 ? kNullTermId : sol[slot];
+          };
+          Triple t(resolve(pt.s), resolve(pt.p), resolve(pt.o));
+          if (t.s == kNullTermId || t.p == kNullTermId || t.o == kNullTermId)
+            return Status::InvalidArgument(
+                "update template variable not bound by WHERE clause");
+          batch.push_back(t);
+        }
+      }
+      for (const Triple& t : batch) {
+        if (inserting) {
+          if (store_->Insert(t)) ++result.num_inserted;
+        } else {
+          if (store_->Erase(t)) ++result.num_deleted;
+        }
+      }
+      return result;
+    }
+    case QueryKind::kSelect:
+      break;
+  }
+
+  // 3. Projection.
+  std::vector<SelectItem> items = query.select;
+  if (query.select_all) {
+    for (size_t i = 0; i < ctx.vars.size(); ++i) {
+      SelectItem it;
+      it.expr = Expr::Var(ctx.vars.name(static_cast<int>(i)));
+      it.alias = ctx.vars.name(static_cast<int>(i));
+      items.push_back(std::move(it));
+    }
+  }
+  for (const auto& it : items) result.columns.push_back(it.alias);
+
+  std::unordered_set<std::string> seen;
+  for (const auto& sol : solutions) {
+    std::vector<Term> row;
+    row.reserve(items.size());
+    bool ok_row = true;
+    for (const auto& it : items) {
+      auto v = EvalExpr(it.expr, &ctx, sol);
+      if (!v.ok()) {
+        if (v.status().code() == StatusCode::kFailedPrecondition) {
+          // Unbound variable in projection: empty cell.
+          row.push_back(Term::Literal(""));
+          continue;
+        }
+        return v.status();
+      }
+      row.push_back(std::move(*v));
+    }
+    if (!ok_row) continue;
+    if (query.distinct) {
+      std::string key = RowKey(row);
+      if (!seen.insert(key).second) continue;
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  // 4. OFFSET / LIMIT.
+  if (query.offset > 0) {
+    size_t off = std::min<size_t>(query.offset, result.rows.size());
+    result.rows.erase(result.rows.begin(), result.rows.begin() + off);
+  }
+  if (query.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(query.limit)) {
+    result.rows.resize(query.limit);
+  }
+  return result;
+}
+
+}  // namespace kgnet::sparql

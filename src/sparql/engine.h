@@ -1,0 +1,68 @@
+// Query engine: executes parsed queries against a TripleStore.
+#ifndef KGNET_SPARQL_ENGINE_H_
+#define KGNET_SPARQL_ENGINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/udf_registry.h"
+
+namespace kgnet::sparql {
+
+/// The materialized answer of a query.
+struct QueryResult {
+  /// Projected column names (without '?').
+  std::vector<std::string> columns;
+  /// One row per solution; decoded terms, aligned with `columns`.
+  std::vector<std::vector<rdf::Term>> rows;
+  /// For ASK queries.
+  bool ask_result = false;
+  /// For updates: triples added / removed.
+  size_t num_inserted = 0;
+  size_t num_deleted = 0;
+
+  size_t NumRows() const { return rows.size(); }
+
+  /// Index of a column or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Renders an aligned table (tests / examples).
+  std::string ToTable() const;
+};
+
+/// Executes SPARQL queries against a single TripleStore.
+///
+/// The engine plans basic graph patterns greedily: at each step it picks the
+/// remaining triple pattern with the lowest estimated cardinality given the
+/// variables already bound, then performs an indexed nested-loop join.
+/// FILTERs are applied as soon as every variable they mention is bound.
+class QueryEngine {
+ public:
+  explicit QueryEngine(rdf::TripleStore* store) : store_(store) {}
+
+  /// Parses and executes `text`.
+  Result<QueryResult> ExecuteString(std::string_view text);
+
+  /// Executes an already-parsed query.
+  Result<QueryResult> Execute(const Query& query);
+
+  /// Estimated number of solutions of the WHERE clause of `query`
+  /// (product of per-pattern estimates after greedy ordering; an upper
+  /// bound used by the SPARQL-ML optimizer).
+  size_t EstimateWhereCardinality(const Query& query) const;
+
+  UdfRegistry& udfs() { return udfs_; }
+  rdf::TripleStore* store() { return store_; }
+
+ private:
+  rdf::TripleStore* store_;
+  UdfRegistry udfs_;
+};
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_ENGINE_H_

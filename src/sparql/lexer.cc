@@ -1,0 +1,225 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace kgnet::sparql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "SELECT", "WHERE",  "PREFIX", "FILTER", "INSERT", "DELETE",
+      "DISTINCT", "LIMIT", "OFFSET", "ASK",   "AS",     "DATA",
+      "INTO",   "FROM",   "ORDER",  "BY",     "ASC",    "DESC",
+      "COUNT",  "TRUE",   "FALSE",  "OPTIONAL", "UNION", "A",
+  };
+  return *kw;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+// Characters allowed inside the local part of a prefixed name. Dots are
+// allowed mid-name (sql:UDFS.getNodeClass) but a trailing dot terminates a
+// triple, so the caller trims it.
+bool IsPnameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view in) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = in.size();
+  while (i < n) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments run to end of line.
+    if (c == '#') {
+      while (i < n && in[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '<') {
+      // IRI if a '>' appears before any whitespace; otherwise an operator.
+      size_t j = i + 1;
+      bool is_iri = false;
+      while (j < n && !std::isspace(static_cast<unsigned char>(in[j]))) {
+        if (in[j] == '>') {
+          is_iri = true;
+          break;
+        }
+        ++j;
+      }
+      if (is_iri) {
+        out.push_back({TokenKind::kIri,
+                       std::string(in.substr(i + 1, j - i - 1)), start, ""});
+        i = j + 1;
+        continue;
+      }
+      if (i + 1 < n && in[i + 1] == '=') {
+        out.push_back({TokenKind::kPunct, "<=", start, ""});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kPunct, "<", start, ""});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(in[j])) ++j;
+      if (j == i + 1)
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(i));
+      out.push_back({TokenKind::kVar,
+                     std::string(in.substr(i + 1, j - i - 1)), start, ""});
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (in[j] == '\\' && j + 1 < n) {
+          char e = in[j + 1];
+          value += (e == 'n' ? '\n' : e == 't' ? '\t' : e == 'r' ? '\r' : e);
+          j += 2;
+          continue;
+        }
+        if (in[j] == '"') {
+          closed = true;
+          ++j;
+          break;
+        }
+        value += in[j];
+        ++j;
+      }
+      if (!closed)
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(i));
+      std::string extra;
+      if (j + 2 < n && in[j] == '^' && in[j + 1] == '^' && in[j + 2] == '<') {
+        const size_t close_iri = in.find('>', j + 3);
+        if (close_iri == std::string_view::npos)
+          return Status::ParseError("unterminated datatype IRI at offset " +
+                                    std::to_string(j));
+        extra = std::string(in.substr(j + 3, close_iri - j - 3));
+        j = close_iri + 1;
+      } else if (j < n && in[j] == '@') {
+        size_t end_tag = j + 1;
+        while (end_tag < n &&
+               (std::isalnum(static_cast<unsigned char>(in[end_tag])) ||
+                in[end_tag] == '-'))
+          ++end_tag;
+        extra = "@" + std::string(in.substr(j + 1, end_tag - j - 1));
+        j = end_tag;
+      }
+      out.push_back({TokenKind::kString, std::move(value), start,
+                     std::move(extra)});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n) {
+        if (in[j] == '.' && !seen_dot && j + 1 < n &&
+            std::isdigit(static_cast<unsigned char>(in[j + 1]))) {
+          seen_dot = true;
+          ++j;
+        } else if (std::isdigit(static_cast<unsigned char>(in[j]))) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokenKind::kNumber, std::string(in.substr(i, j - i)),
+                     start, ""});
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(in[j])) ++j;
+      // Prefixed name? ident ':' pname-local
+      if (j < n && in[j] == ':') {
+        size_t k = j + 1;
+        while (k < n && IsPnameChar(in[k])) ++k;
+        // A trailing '.' belongs to the triple terminator, not the name.
+        while (k > j + 1 && in[k - 1] == '.') --k;
+        out.push_back({TokenKind::kPname,
+                       std::string(in.substr(i, k - i)), start, ""});
+        i = k;
+        continue;
+      }
+      std::string word(in.substr(i, j - i));
+      std::string upper;
+      for (char w : word)
+        upper += static_cast<char>(std::toupper(static_cast<unsigned char>(w)));
+      if (Keywords().count(upper)) {
+        out.push_back({TokenKind::kKeyword, upper, start, ""});
+      } else {
+        out.push_back({TokenKind::kIdent, std::move(word), start, ""});
+      }
+      i = j;
+      continue;
+    }
+    // Bare ':' starts a default-prefixed name (":local").
+    if (c == ':') {
+      size_t k = i + 1;
+      while (k < n && IsPnameChar(in[k])) ++k;
+      while (k > i + 1 && in[k - 1] == '.') --k;
+      out.push_back({TokenKind::kPname, std::string(in.substr(i, k - i)),
+                     start, ""});
+      i = k;
+      continue;
+    }
+    // Multi-char operators.
+    if (c == '!' && i + 1 < n && in[i + 1] == '=') {
+      out.push_back({TokenKind::kPunct, "!=", start, ""});
+      i += 2;
+      continue;
+    }
+    if (c == '>' && i + 1 < n && in[i + 1] == '=') {
+      out.push_back({TokenKind::kPunct, ">=", start, ""});
+      i += 2;
+      continue;
+    }
+    if (c == '&' && i + 1 < n && in[i + 1] == '&') {
+      out.push_back({TokenKind::kPunct, "&&", start, ""});
+      i += 2;
+      continue;
+    }
+    if (c == '|' && i + 1 < n && in[i + 1] == '|') {
+      out.push_back({TokenKind::kPunct, "||", start, ""});
+      i += 2;
+      continue;
+    }
+    if (std::string_view("{}().,;*=>!").find(c) != std::string_view::npos) {
+      out.push_back({TokenKind::kPunct, std::string(1, c), start, ""});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  out.push_back({TokenKind::kEof, "", n, ""});
+  return out;
+}
+
+}  // namespace kgnet::sparql

@@ -1,0 +1,48 @@
+// Tokenizer for the KGNet SPARQL subset.
+#ifndef KGNET_SPARQL_LEXER_H_
+#define KGNET_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace kgnet::sparql {
+
+/// Token categories produced by the lexer.
+enum class TokenKind {
+  kEof,
+  kIri,        // <http://...>      (text = IRI without brackets)
+  kPname,      // prefix:local      (text = as written)
+  kVar,        // ?x or $x          (text = name without sigil)
+  kString,     // "..."             (text = unescaped content)
+  kNumber,     // 123 or 1.5        (text = as written)
+  kKeyword,    // SELECT, WHERE ... (text = upper-cased)
+  kIdent,      // other identifier  (text = as written)
+  kPunct,      // {, }, (, ), ., ;, ",", *, =, !=, <, >, <=, >=, &&, ||, !
+};
+
+/// A lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  size_t offset = 0;
+  /// For kString tokens: the datatype IRI from a "..."^^<iri> form, or the
+  /// language tag from "..."@tag (prefixed with '@'); empty otherwise.
+  std::string extra;
+
+  bool IsPunct(std::string_view p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool IsKeyword(std::string_view k) const {
+    return kind == TokenKind::kKeyword && text == k;
+  }
+};
+
+/// Tokenizes `input`. The final token is always kEof.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_LEXER_H_

@@ -1,0 +1,36 @@
+// Recursive-descent parser for the KGNet SPARQL subset.
+//
+// Supported grammar (informal):
+//   query        := prologue (select | ask | insertData | insertWhere
+//                             | deleteWhere)
+//   prologue     := (PREFIX pname ':' <iri>)*
+//   select       := SELECT DISTINCT? ('*' | projection+) WHERE? ggp mods
+//   projection   := var | expr AS var | callExpr AS var
+//   ask          := ASK ggp
+//   insertData   := INSERT DATA ggp
+//   insertWhere  := INSERT (INTO <iri>)? ggp WHERE ggp
+//   deleteWhere  := DELETE ggp WHERE ggp
+//   ggp          := '{' (triplesBlock | FILTER '(' expr ')' | '{' select '}'
+//                  )* '}'
+//   triplesBlock := node node node (';' node node)* '.'?
+//   mods         := (LIMIT int)? (OFFSET int)?
+//
+// Prefixed names are resolved to full IRIs during parsing; `a` expands to
+// rdf:type. Function names in call expressions keep their written form so
+// the UDF registry can match them (e.g. "sql:UDFS.getNodeClass").
+#ifndef KGNET_SPARQL_PARSER_H_
+#define KGNET_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/ast.h"
+
+namespace kgnet::sparql {
+
+/// Parses `text` into a Query.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_PARSER_H_

@@ -1,0 +1,155 @@
+#include "sparql/serializer.h"
+
+#include <sstream>
+
+namespace kgnet::sparql {
+
+std::string SerializeTerm(const rdf::Term& term) {
+  return term.ToNTriples();
+}
+
+std::string SerializeNode(const NodeRef& node) {
+  if (node.is_var) return "?" + node.var;
+  return SerializeTerm(node.term);
+}
+
+namespace {
+
+const char* OpToken(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+      return "=";
+    case ExprOp::kNe:
+      return "!=";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    case ExprOp::kGe:
+      return ">=";
+    case ExprOp::kAnd:
+      return "&&";
+    case ExprOp::kOr:
+      return "||";
+    default:
+      return "?";
+  }
+}
+
+void SerializeGroup(const GraphPattern& gp, std::ostringstream& os,
+                    const std::string& indent);
+
+void SerializeSelect(const Query& q, std::ostringstream& os,
+                     const std::string& indent) {
+  os << indent << "SELECT";
+  if (q.distinct) os << " DISTINCT";
+  if (q.select_all) {
+    os << " *";
+  } else {
+    for (const SelectItem& item : q.select) {
+      if (item.expr->op == ExprOp::kVar && item.expr->var == item.alias) {
+        os << " ?" << item.alias;
+      } else {
+        os << " " << SerializeExpr(item.expr) << " AS ?" << item.alias;
+      }
+    }
+  }
+  os << " WHERE {\n";
+  SerializeGroup(q.where, os, indent + "  ");
+  os << indent << "}";
+  if (q.limit >= 0) os << " LIMIT " << q.limit;
+  if (q.offset > 0) os << " OFFSET " << q.offset;
+}
+
+void SerializeGroup(const GraphPattern& gp, std::ostringstream& os,
+                    const std::string& indent) {
+  for (const PatternTriple& t : gp.triples) {
+    os << indent << SerializeNode(t.s) << " " << SerializeNode(t.p) << " "
+       << SerializeNode(t.o) << " .\n";
+  }
+  for (const ExprPtr& f : gp.filters) {
+    os << indent << "FILTER(" << SerializeExpr(f) << ")\n";
+  }
+  for (const auto& sub : gp.subselects) {
+    os << indent << "{\n";
+    SerializeSelect(*sub, os, indent + "  ");
+    os << "\n" << indent << "}\n";
+  }
+  for (const auto& alternatives : gp.unions) {
+    for (size_t i = 0; i < alternatives.size(); ++i) {
+      if (i > 0) os << indent << "UNION\n";
+      os << indent << "{\n";
+      SerializeGroup(alternatives[i], os, indent + "  ");
+      os << indent << "}\n";
+    }
+  }
+  for (const auto& opt : gp.optionals) {
+    os << indent << "OPTIONAL {\n";
+    SerializeGroup(opt, os, indent + "  ");
+    os << indent << "}\n";
+  }
+}
+
+}  // namespace
+
+std::string SerializeExpr(const ExprPtr& e) {
+  if (e == nullptr) return "";
+  switch (e->op) {
+    case ExprOp::kVar:
+      return "?" + e->var;
+    case ExprOp::kConst:
+      return SerializeTerm(e->constant);
+    case ExprOp::kNot:
+      return "!(" + SerializeExpr(e->args[0]) + ")";
+    case ExprOp::kCall: {
+      std::string out = e->fn + "(";
+      for (size_t i = 0; i < e->args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += SerializeExpr(e->args[i]);
+      }
+      return out + ")";
+    }
+    default: {
+      // Binary operators; parenthesize to stay precedence-safe.
+      return "(" + SerializeExpr(e->args[0]) + " " + OpToken(e->op) + " " +
+             SerializeExpr(e->args[1]) + ")";
+    }
+  }
+}
+
+std::string SerializeQuery(const Query& q) {
+  std::ostringstream os;
+  switch (q.kind) {
+    case QueryKind::kSelect:
+      SerializeSelect(q, os, "");
+      break;
+    case QueryKind::kAsk:
+      os << "ASK {\n";
+      SerializeGroup(q.where, os, "  ");
+      os << "}";
+      break;
+    case QueryKind::kInsertData:
+      os << "INSERT DATA {\n";
+      for (const PatternTriple& t : q.update_template)
+        os << "  " << SerializeNode(t.s) << " " << SerializeNode(t.p) << " "
+           << SerializeNode(t.o) << " .\n";
+      os << "}";
+      break;
+    case QueryKind::kInsertWhere:
+    case QueryKind::kDeleteWhere: {
+      os << (q.kind == QueryKind::kInsertWhere ? "INSERT {\n" : "DELETE {\n");
+      for (const PatternTriple& t : q.update_template)
+        os << "  " << SerializeNode(t.s) << " " << SerializeNode(t.p) << " "
+           << SerializeNode(t.o) << " .\n";
+      os << "} WHERE {\n";
+      SerializeGroup(q.where, os, "  ");
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kgnet::sparql

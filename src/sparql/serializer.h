@@ -1,0 +1,32 @@
+// Serialization of parsed queries back to SPARQL text.
+//
+// Used by the SPARQL-ML service's Explain() facility: after the optimizer
+// rewrites a GML-enabled query into plain SPARQL (Figures 11/12), the
+// rewritten text can be shown to the user exactly as the paper presents
+// its candidate queries.
+#ifndef KGNET_SPARQL_SERIALIZER_H_
+#define KGNET_SPARQL_SERIALIZER_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace kgnet::sparql {
+
+/// Renders a term the way the parser would accept it.
+std::string SerializeTerm(const rdf::Term& term);
+
+/// Renders a triple-pattern position.
+std::string SerializeNode(const NodeRef& node);
+
+/// Renders an expression (FILTER condition or projection).
+std::string SerializeExpr(const ExprPtr& expr);
+
+/// Renders a full query. Prefixes are emitted only when used... the
+/// serializer always emits absolute IRIs, so the output is prefix-free and
+/// round-trips through ParseQuery().
+std::string SerializeQuery(const Query& query);
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_SERIALIZER_H_

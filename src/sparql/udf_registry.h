@@ -1,0 +1,63 @@
+// Registry of user-defined functions callable from SPARQL expressions.
+//
+// KGNet's rewritten queries (paper Figures 11 and 12) invoke UDFs such as
+// sql:UDFS.getNodeClass and sql:UDFS.getKeyValue. The registry maps the
+// written function name to a C++ callable and counts invocations so the
+// query-optimizer benchmarks can measure #calls per plan.
+#ifndef KGNET_SPARQL_UDF_REGISTRY_H_
+#define KGNET_SPARQL_UDF_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/term.h"
+
+namespace kgnet::sparql {
+
+/// Signature of a user-defined function: fully-evaluated argument terms in,
+/// one term out.
+using UdfFn =
+    std::function<Result<rdf::Term>(const std::vector<rdf::Term>&)>;
+
+/// Named UDFs with per-function invocation counters.
+class UdfRegistry {
+ public:
+  /// Registers (or replaces) `name`.
+  void Register(const std::string& name, UdfFn fn) {
+    fns_[name] = std::move(fn);
+  }
+
+  /// True if `name` is registered.
+  bool Contains(const std::string& name) const { return fns_.count(name) > 0; }
+
+  /// Invokes `name`; increments its call counter.
+  Result<rdf::Term> Call(const std::string& name,
+                         const std::vector<rdf::Term>& args) {
+    auto it = fns_.find(name);
+    if (it == fns_.end())
+      return Status::NotFound("unknown function: " + name);
+    ++calls_[name];
+    return it->second(args);
+  }
+
+  /// Number of times `name` has been invoked.
+  uint64_t CallCount(const std::string& name) const {
+    auto it = calls_.find(name);
+    return it == calls_.end() ? 0 : it->second;
+  }
+
+  /// Resets all call counters.
+  void ResetCounters() { calls_.clear(); }
+
+ private:
+  std::unordered_map<std::string, UdfFn> fns_;
+  std::unordered_map<std::string, uint64_t> calls_;
+};
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_UDF_REGISTRY_H_

@@ -1,0 +1,145 @@
+#include "tensor/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace kgnet::tensor {
+
+CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<CooEntry> entries)
+    : rows_(rows), cols_(cols) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CooEntry& a, const CooEntry& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  row_ptr_.assign(rows_ + 1, 0);
+  col_idx_.reserve(entries.size());
+  values_.reserve(entries.size());
+  for (size_t i = 0; i < entries.size();) {
+    size_t j = i;
+    float acc = 0.0f;
+    while (j < entries.size() && entries[j].row == entries[i].row &&
+           entries[j].col == entries[i].col) {
+      acc += entries[j].value;
+      ++j;
+    }
+    col_idx_.push_back(entries[i].col);
+    values_.push_back(acc);
+    ++row_ptr_[entries[i].row + 1];
+    i = j;
+  }
+  for (size_t r = 0; r < rows_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  Account();
+}
+
+CsrMatrix::CsrMatrix(const CsrMatrix& o)
+    : rows_(o.rows_),
+      cols_(o.cols_),
+      row_ptr_(o.row_ptr_),
+      col_idx_(o.col_idx_),
+      values_(o.values_) {
+  Account();
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix&& o) noexcept
+    : rows_(o.rows_),
+      cols_(o.cols_),
+      row_ptr_(std::move(o.row_ptr_)),
+      col_idx_(std::move(o.col_idx_)),
+      values_(std::move(o.values_)) {
+  o.rows_ = o.cols_ = 0;
+  o.row_ptr_.clear();
+  o.col_idx_.clear();
+  o.values_.clear();
+}
+
+CsrMatrix& CsrMatrix::operator=(CsrMatrix o) noexcept {
+  Unaccount();
+  rows_ = o.rows_;
+  cols_ = o.cols_;
+  row_ptr_ = std::move(o.row_ptr_);
+  col_idx_ = std::move(o.col_idx_);
+  values_ = std::move(o.values_);
+  o.rows_ = o.cols_ = 0;
+  o.row_ptr_.clear();
+  o.col_idx_.clear();
+  o.values_.clear();
+  // The payload bytes were accounted when `o` was constructed and transfer
+  // to this object; `o` now holds nothing and its destructor releases zero.
+  return *this;
+}
+
+CsrMatrix::~CsrMatrix() { Unaccount(); }
+
+void CsrMatrix::Account() { MemoryMeter::Instance().Allocate(ByteSize()); }
+
+void CsrMatrix::Unaccount() { MemoryMeter::Instance().Release(ByteSize()); }
+
+Matrix CsrMatrix::SpMM(const Matrix& x) const {
+  Matrix y(rows_, x.cols());
+  const size_t d = x.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    float* yrow = y.Row(r);
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float v = values_[e];
+      const float* xrow = x.Row(col_idx_[e]);
+      for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+Matrix CsrMatrix::SpMMTransposed(const Matrix& x) const {
+  Matrix y(cols_, x.cols());
+  const size_t d = x.cols();
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* xrow = x.Row(r);
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float v = values_[e];
+      float* yrow = y.Row(col_idx_[e]);
+      for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(rows_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r)
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e)
+      sums[r] += values_[e];
+  return sums;
+}
+
+CsrMatrix CsrMatrix::RowNormalized() const {
+  std::vector<float> sums = RowSums();
+  CsrMatrix out(*this);
+  for (size_t r = 0; r < rows_; ++r) {
+    if (sums[r] == 0.0f) continue;
+    const float inv = 1.0f / sums[r];
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e)
+      out.values_[e] *= inv;
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::SymNormalized() const {
+  // In-degree per column.
+  std::vector<float> col_sums(cols_, 0.0f);
+  for (size_t r = 0; r < rows_; ++r)
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e)
+      col_sums[col_idx_[e]] += values_[e];
+  std::vector<float> row_sums = RowSums();
+  CsrMatrix out(*this);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float dr = row_sums[r];
+    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+      const float dc = col_sums[col_idx_[e]];
+      const float denom = std::sqrt(dr) * std::sqrt(dc);
+      out.values_[e] = denom > 0.0f ? out.values_[e] / denom : 0.0f;
+    }
+  }
+  return out;
+}
+
+}  // namespace kgnet::tensor

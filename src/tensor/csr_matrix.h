@@ -1,0 +1,79 @@
+// Compressed-sparse-row matrices for graph adjacency and message passing.
+#ifndef KGNET_TENSOR_CSR_MATRIX_H_
+#define KGNET_TENSOR_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/memory_meter.h"
+
+namespace kgnet::tensor {
+
+/// A (row, col, value) coordinate entry used to build CSR matrices.
+struct CooEntry {
+  uint32_t row;
+  uint32_t col;
+  float value;
+};
+
+/// An immutable CSR float32 sparse matrix.
+///
+/// Built once from COO entries (duplicates are summed); supports the two
+/// products GNN training needs: Y = A·X (SpMM) and Y = Aᵀ·X, plus row-sum
+/// and degree-based normalization used by GCN/RGCN propagation rules.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO entries. Duplicate coordinates are summed.
+  CsrMatrix(size_t rows, size_t cols, std::vector<CooEntry> entries);
+
+  CsrMatrix(const CsrMatrix& o);
+  CsrMatrix(CsrMatrix&& o) noexcept;
+  CsrMatrix& operator=(CsrMatrix o) noexcept;
+  ~CsrMatrix();
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_idx_.size(); }
+  size_t ByteSize() const {
+    return row_ptr_.size() * sizeof(uint64_t) +
+           col_idx_.size() * sizeof(uint32_t) + values_.size() * sizeof(float);
+  }
+
+  const std::vector<uint64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Y = this · X  (rows x cols · cols x d -> rows x d).
+  Matrix SpMM(const Matrix& x) const;
+
+  /// Y = thisᵀ · X (cols x rows · rows x d -> cols x d).
+  Matrix SpMMTransposed(const Matrix& x) const;
+
+  /// Per-row sum of values (out-degree when values are 1).
+  std::vector<float> RowSums() const;
+
+  /// Returns a copy with each row scaled to sum 1 (random-walk
+  /// normalization \hat A = D^{-1} A). Zero rows stay zero.
+  CsrMatrix RowNormalized() const;
+
+  /// Returns a copy with symmetric normalization D^{-1/2} A D^{-1/2}.
+  CsrMatrix SymNormalized() const;
+
+ private:
+  void Account();
+  void Unaccount();
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<uint64_t> row_ptr_;
+  std::vector<uint32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace kgnet::tensor
+
+#endif  // KGNET_TENSOR_CSR_MATRIX_H_

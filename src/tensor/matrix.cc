@@ -1,0 +1,150 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kgnet::tensor {
+
+void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+void Matrix::XavierInit(Rng* rng) {
+  const float s = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  for (float& v : data_) v = rng->NextUniform(-s, s);
+}
+
+void Matrix::UniformInit(Rng* rng, float lo, float hi) {
+  for (float& v : data_) v = rng->NextUniform(lo, hi);
+}
+
+void Matrix::Add(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+void Matrix::Axpy(float s, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::ReluInPlace(Matrix* mask) {
+  if (mask != nullptr && (mask->rows() != rows_ || mask->cols() != cols_))
+    *mask = Matrix(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    bool active = data_[i] > 0.0f;
+    if (!active) data_[i] = 0.0f;
+    if (mask != nullptr) mask->data()[i] = active ? 1.0f : 0.0f;
+  }
+}
+
+void Matrix::SoftmaxRowsInPlace() {
+  for (size_t r = 0; r < rows_; ++r) {
+    float* row = Row(r);
+    float mx = row[0];
+    for (size_t c = 1; c < cols_; ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (size_t c = 0; c < cols_; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = sum > 0.0f ? 1.0f / sum : 0.0f;
+    for (size_t c = 0; c < cols_; ++c) row[c] *= inv;
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const float* src = Row(idx[i]);
+    std::copy(src, src + cols_, out.Row(i));
+  }
+  return out;
+}
+
+void Matrix::ScatterAddRows(const std::vector<size_t>& idx,
+                            const Matrix& src) {
+  assert(idx.size() == src.rows() && cols_ == src.cols());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    float* dst = Row(idx[i]);
+    const float* s = src.Row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] += s[c];
+  }
+}
+
+Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace kgnet::tensor

@@ -1,0 +1,121 @@
+// Dense row-major float32 matrices with the operations GNN/KGE training
+// needs: GEMM, elementwise ops, row gather/scatter, softmax, init schemes.
+#ifndef KGNET_TENSOR_MATRIX_H_
+#define KGNET_TENSOR_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "tensor/memory_meter.h"
+#include "tensor/rng.h"
+
+namespace kgnet::tensor {
+
+/// A dense row-major float32 matrix. Payload bytes are tracked by the
+/// thread-local MemoryMeter.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    MemoryMeter::Instance().Allocate(ByteSize());
+  }
+  Matrix(const Matrix& o) : rows_(o.rows_), cols_(o.cols_), data_(o.data_) {
+    MemoryMeter::Instance().Allocate(ByteSize());
+  }
+  Matrix(Matrix&& o) noexcept
+      : rows_(o.rows_), cols_(o.cols_), data_(std::move(o.data_)) {
+    o.rows_ = o.cols_ = 0;
+    o.data_.clear();
+  }
+  Matrix& operator=(const Matrix& o) {
+    if (this == &o) return *this;
+    MemoryMeter::Instance().Release(ByteSize());
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_ = o.data_;
+    MemoryMeter::Instance().Allocate(ByteSize());
+    return *this;
+  }
+  Matrix& operator=(Matrix&& o) noexcept {
+    if (this == &o) return *this;
+    MemoryMeter::Instance().Release(ByteSize());
+    rows_ = o.rows_;
+    cols_ = o.cols_;
+    data_ = std::move(o.data_);
+    o.rows_ = o.cols_ = 0;
+    o.data_.clear();
+    return *this;
+  }
+  ~Matrix() { MemoryMeter::Instance().Release(ByteSize()); }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  size_t ByteSize() const { return data_.size() * sizeof(float); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Fills with zeros.
+  void Zero();
+
+  /// Fills with Xavier/Glorot uniform values: U(-s, s), s = sqrt(6/(fan_in +
+  /// fan_out)). The paper initializes node features this way.
+  void XavierInit(Rng* rng);
+
+  /// Fills with U(lo, hi).
+  void UniformInit(Rng* rng, float lo, float hi);
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this -= other.
+  void Sub(const Matrix& other);
+  /// this *= scalar.
+  void Scale(float s);
+  /// this += scalar * other (axpy).
+  void Axpy(float s, const Matrix& other);
+  /// Elementwise product: this *= other.
+  void Hadamard(const Matrix& other);
+
+  /// ReLU in place; if `mask` is non-null it records 1/0 activations for the
+  /// backward pass.
+  void ReluInPlace(Matrix* mask = nullptr);
+
+  /// Row-wise softmax in place (numerically stabilized).
+  void SoftmaxRowsInPlace();
+
+  /// L2 norm of all entries.
+  float FrobeniusNorm() const;
+
+  /// Sum of all entries.
+  float Sum() const;
+
+  /// Returns rows indexed by `idx` as a new (idx.size() x cols) matrix.
+  Matrix GatherRows(const std::vector<size_t>& idx) const;
+
+  /// Adds each row of `src` into this->Row(idx[i]).
+  void ScatterAddRows(const std::vector<size_t>& idx, const Matrix& src);
+
+  /// C = A * B.
+  static Matrix MatMul(const Matrix& a, const Matrix& b);
+  /// C = A^T * B.
+  static Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+  /// C = A * B^T.
+  static Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace kgnet::tensor
+
+#endif  // KGNET_TENSOR_MATRIX_H_

@@ -1,0 +1,10 @@
+#include "tensor/memory_meter.h"
+
+namespace kgnet::tensor {
+
+MemoryMeter& MemoryMeter::Instance() {
+  thread_local MemoryMeter meter;
+  return meter;
+}
+
+}  // namespace kgnet::tensor

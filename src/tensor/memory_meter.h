@@ -1,0 +1,67 @@
+// Deterministic accounting of live tensor memory.
+//
+// The paper reports peak *training memory* per pipeline. Process RSS is too
+// noisy for a shared test binary, so every Matrix/CsrMatrix registers its
+// payload bytes with the thread-local MemoryMeter. Benchmarks snapshot the
+// peak between Reset() and Peak().
+#ifndef KGNET_TENSOR_MEMORY_METER_H_
+#define KGNET_TENSOR_MEMORY_METER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kgnet::tensor {
+
+/// Tracks current and peak live bytes of tensor payloads on this thread.
+class MemoryMeter {
+ public:
+  /// The per-thread meter used by Matrix/CsrMatrix.
+  static MemoryMeter& Instance();
+
+  /// Registers an allocation of `bytes`.
+  void Allocate(size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  /// Registers a release of `bytes`.
+  void Release(size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+
+  /// Live bytes right now.
+  size_t Current() const { return current_; }
+
+  /// Peak live bytes since the last Reset().
+  size_t Peak() const { return peak_; }
+
+  /// Resets the peak to the current level.
+  void Reset() { peak_ = current_; }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+};
+
+/// RAII helper: reports the peak *additional* bytes allocated during its
+/// lifetime, relative to the live bytes at construction. Using the delta
+/// keeps measurements independent of unrelated tensors (e.g. previously
+/// trained models still held by the model store).
+class PeakMemoryScope {
+ public:
+  PeakMemoryScope() : baseline_(MemoryMeter::Instance().Current()) {
+    MemoryMeter::Instance().Reset();
+  }
+  /// Peak bytes above the construction-time baseline.
+  size_t PeakBytes() const {
+    const size_t peak = MemoryMeter::Instance().Peak();
+    return peak > baseline_ ? peak - baseline_ : 0;
+  }
+
+ private:
+  size_t baseline_;
+};
+
+}  // namespace kgnet::tensor
+
+#endif  // KGNET_TENSOR_MEMORY_METER_H_

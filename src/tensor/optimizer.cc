@@ -1,0 +1,111 @@
+#include "tensor/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace kgnet::tensor {
+
+size_t AdamOptimizer::Register(Matrix* param) {
+  params_.push_back(param);
+  m_.emplace_back(param->rows(), param->cols());
+  v_.emplace_back(param->rows(), param->cols());
+  return params_.size() - 1;
+}
+
+void AdamOptimizer::Step(const std::vector<Matrix*>& grads) {
+  assert(grads.size() == params_.size());
+  ++t_;
+  const float b1 = opts_.beta1;
+  const float b2 = opts_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Matrix& p = *params_[k];
+    const Matrix& g = *grads[k];
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    const size_t n = p.size();
+    for (size_t i = 0; i < n; ++i) {
+      float gi = g.data()[i];
+      if (opts_.weight_decay > 0.0f) gi += opts_.weight_decay * p.data()[i];
+      m.data()[i] = b1 * m.data()[i] + (1.0f - b1) * gi;
+      v.data()[i] = b2 * v.data()[i] + (1.0f - b2) * gi * gi;
+      const float mhat = m.data()[i] / bias1;
+      const float vhat = v.data()[i] / bias2;
+      p.data()[i] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+void AdamOptimizer::Reset() {
+  for (auto& m : m_) m.Zero();
+  for (auto& v : v_) v.Zero();
+  t_ = 0;
+}
+
+size_t SgdOptimizer::Register(Matrix* param) {
+  params_.push_back(param);
+  velocity_.emplace_back(param->rows(), param->cols());
+  return params_.size() - 1;
+}
+
+void SgdOptimizer::Step(const std::vector<Matrix*>& grads) {
+  assert(grads.size() == params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Matrix& p = *params_[k];
+    const Matrix& g = *grads[k];
+    Matrix& vel = velocity_[k];
+    const size_t n = p.size();
+    for (size_t i = 0; i < n; ++i) {
+      vel.data()[i] = momentum_ * vel.data()[i] - lr_ * g.data()[i];
+      p.data()[i] += vel.data()[i];
+    }
+  }
+}
+
+float SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                          Matrix* grad) {
+  assert(labels.size() == logits.rows());
+  const size_t n = logits.rows();
+  const size_t c = logits.cols();
+  *grad = logits;  // copy, then softmax in place
+  grad->SoftmaxRowsInPlace();
+  double loss = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == kIgnoreLabel) {
+      float* row = grad->Row(i);
+      for (size_t j = 0; j < c; ++j) row[j] = 0.0f;
+      continue;
+    }
+    ++counted;
+    float* row = grad->Row(i);
+    const float p = row[labels[i]];
+    loss += -std::log(std::max(p, 1e-12f));
+    row[labels[i]] -= 1.0f;
+  }
+  const float inv = counted > 0 ? 1.0f / static_cast<float>(counted) : 0.0f;
+  grad->Scale(inv);
+  return counted > 0 ? static_cast<float>(loss / counted) : 0.0f;
+}
+
+float LogisticLoss(const std::vector<float>& scores,
+                   const std::vector<float>& targets,
+                   std::vector<float>* grad_scores) {
+  assert(scores.size() == targets.size());
+  const size_t n = scores.size();
+  grad_scores->assign(n, 0.0f);
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float z = -targets[i] * scores[i];
+    // softplus(z) = log(1 + e^z), stable form.
+    const float sp = z > 0 ? z + std::log1p(std::exp(-z))
+                           : std::log1p(std::exp(z));
+    loss += sp;
+    const float sigma = 1.0f / (1.0f + std::exp(-z));
+    (*grad_scores)[i] = -targets[i] * sigma / static_cast<float>(n);
+  }
+  return static_cast<float>(loss / (n > 0 ? n : 1));
+}
+
+}  // namespace kgnet::tensor

@@ -1,0 +1,84 @@
+// First-order optimizers for training GML models.
+#ifndef KGNET_TENSOR_OPTIMIZER_H_
+#define KGNET_TENSOR_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace kgnet::tensor {
+
+/// Adam optimizer over a fixed set of parameter matrices.
+///
+/// Parameters are registered once; Step() applies one update per parameter
+/// from the matching gradient. State (first/second moments) is kept per
+/// parameter.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float lr = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  AdamOptimizer() = default;
+  explicit AdamOptimizer(Options opts) : opts_(opts) {}
+
+  /// Registers a parameter; returns its handle.
+  size_t Register(Matrix* param);
+
+  /// Applies one Adam update: params[i] -= update(grads[i]).
+  /// `grads` must be aligned with registration order.
+  void Step(const std::vector<Matrix*>& grads);
+
+  /// Resets moments and the step counter.
+  void Reset();
+
+  const Options& options() const { return opts_; }
+  void set_lr(float lr) { opts_.lr = lr; }
+
+ private:
+  Options opts_;
+  std::vector<Matrix*> params_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  size_t t_ = 0;
+};
+
+/// Plain SGD with optional momentum.
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(float lr = 1e-2f, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+
+  size_t Register(Matrix* param);
+  void Step(const std::vector<Matrix*>& grads);
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix*> params_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Cross-entropy loss over softmax probabilities.
+///
+/// `logits` is (n x num_classes); `labels[i]` in [0, num_classes). Rows with
+/// label == kIgnoreLabel are skipped. Returns mean loss over counted rows
+/// and writes dL/dlogits into `grad` (same shape, already divided by n).
+inline constexpr int kIgnoreLabel = -1;
+float SoftmaxCrossEntropy(const Matrix& logits, const std::vector<int>& labels,
+                          Matrix* grad);
+
+/// Binary logistic loss for link-prediction scores with +-1 targets.
+/// Returns mean softplus(-target * score); writes d/dscore into grad_scores.
+float LogisticLoss(const std::vector<float>& scores,
+                   const std::vector<float>& targets,
+                   std::vector<float>* grad_scores);
+
+}  // namespace kgnet::tensor
+
+#endif  // KGNET_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for training pipelines.
+#ifndef KGNET_TENSOR_RNG_H_
+#define KGNET_TENSOR_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace kgnet::tensor {
+
+/// A small, fast, deterministic RNG (xoshiro-style via std::mt19937_64
+/// wrapper) used for weight init, sampling and splits.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : gen_(seed) {}
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextUint(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return std::uniform_real_distribution<float>(0.0f, 1.0f)(gen_);
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(gen_);
+  }
+
+  /// Standard normal sample.
+  float NextGaussian() {
+    return std::normal_distribution<float>(0.0f, 1.0f)(gen_);
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace kgnet::tensor
+
+#endif  // KGNET_TENSOR_RNG_H_

@@ -1,0 +1,339 @@
+// Unit tests for KGMeta, the embedding store, the method selector and the
+// JSON parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/embedding_store.h"
+#include "core/json.h"
+#include "core/kgmeta.h"
+#include "core/method_selector.h"
+#include "sparql/engine.h"
+#include "tensor/rng.h"
+
+namespace kgnet::core {
+namespace {
+
+// --------------------------------------------------------------- KGMeta --
+
+ModelInfo NcModel(const std::string& uri, double acc, double infer_us) {
+  ModelInfo m;
+  m.uri = uri;
+  m.task = gml::TaskType::kNodeClassification;
+  m.method = "RGCN";
+  m.target_type_iri = "http://x/Paper";
+  m.label_predicate_iri = "http://x/venue";
+  m.accuracy = acc;
+  m.inference_us = infer_us;
+  m.cardinality = 100;
+  m.sampler_label = "d1h1";
+  m.train_seconds = 1.5;
+  m.train_memory_bytes = 1 << 20;
+  m.mrr = 0.5;
+  return m;
+}
+
+TEST(KgMetaTest, RegisterGetRoundTrip) {
+  KgMeta meta;
+  ModelInfo in = NcModel(KgnetVocab::Name("model/m1"), 0.9, 10.0);
+  ASSERT_TRUE(meta.RegisterModel(in).ok());
+  auto out = meta.Get(in.uri);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->task, in.task);
+  EXPECT_EQ(out->method, "RGCN");
+  EXPECT_EQ(out->target_type_iri, in.target_type_iri);
+  EXPECT_EQ(out->label_predicate_iri, in.label_predicate_iri);
+  EXPECT_NEAR(out->accuracy, 0.9, 1e-9);
+  EXPECT_NEAR(out->inference_us, 10.0, 1e-9);
+  EXPECT_EQ(out->cardinality, 100u);
+  EXPECT_EQ(out->sampler_label, "d1h1");
+}
+
+TEST(KgMetaTest, DuplicateRegistrationRejected) {
+  KgMeta meta;
+  ModelInfo m = NcModel("u", 0.5, 1);
+  ASSERT_TRUE(meta.RegisterModel(m).ok());
+  EXPECT_EQ(meta.RegisterModel(m).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(KgMetaTest, DeleteRemovesAllTriples) {
+  KgMeta meta;
+  ASSERT_TRUE(meta.RegisterModel(NcModel("u1", 0.5, 1)).ok());
+  ASSERT_TRUE(meta.RegisterModel(NcModel("u2", 0.6, 1)).ok());
+  EXPECT_EQ(meta.NumModels(), 2u);
+  ASSERT_TRUE(meta.DeleteModel("u1").ok());
+  EXPECT_EQ(meta.NumModels(), 1u);
+  EXPECT_FALSE(meta.Get("u1").ok());
+  EXPECT_EQ(meta.DeleteModel("u1").code(), StatusCode::kNotFound);
+}
+
+TEST(KgMetaTest, FindModelsFiltersByConstraints) {
+  KgMeta meta;
+  ASSERT_TRUE(meta.RegisterModel(NcModel("u1", 0.5, 1)).ok());
+  ModelInfo other = NcModel("u2", 0.6, 1);
+  other.target_type_iri = "http://x/Author";
+  ASSERT_TRUE(meta.RegisterModel(other).ok());
+  ModelInfo lp;
+  lp.uri = "u3";
+  lp.task = gml::TaskType::kLinkPrediction;
+  lp.source_type_iri = "http://x/Author";
+  lp.destination_type_iri = "http://x/Affil";
+  lp.task_predicate_iri = "http://x/affiliatedWith";
+  ASSERT_TRUE(meta.RegisterModel(lp).ok());
+
+  ModelInfo pattern;
+  pattern.task = gml::TaskType::kNodeClassification;
+  pattern.target_type_iri = "http://x/Paper";
+  auto found = meta.FindModels(pattern);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].uri, "u1");
+
+  ModelInfo lp_pattern;
+  lp_pattern.task = gml::TaskType::kLinkPrediction;
+  lp_pattern.source_type_iri = "http://x/Author";
+  EXPECT_EQ(meta.FindModels(lp_pattern).size(), 1u);
+
+  // Empty constraints match all NC models.
+  ModelInfo all_nc;
+  all_nc.task = gml::TaskType::kNodeClassification;
+  EXPECT_EQ(meta.FindModels(all_nc).size(), 2u);
+}
+
+TEST(KgMetaTest, KgMetaIsQueryableViaSparql) {
+  KgMeta meta;
+  ASSERT_TRUE(
+      meta.RegisterModel(NcModel(KgnetVocab::Name("model/m9"), 0.77, 3))
+          .ok());
+  sparql::QueryEngine engine(&meta.mutable_store());
+  auto r = engine.ExecuteString(
+      "PREFIX kgnet: <https://www.kgnet.com/>\n"
+      "SELECT ?m ?acc WHERE { ?m a kgnet:NodeClassifier . "
+      "?m kgnet:modelAccuracy ?acc . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->rows[0][0].lexical, KgnetVocab::Name("model/m9"));
+  double acc;
+  EXPECT_TRUE(r->rows[0][1].AsDouble(&acc));
+  EXPECT_NEAR(acc, 0.77, 1e-9);
+}
+
+// ------------------------------------------------------- EmbeddingStore --
+
+TEST(EmbeddingStoreTest, FlatSearchExact) {
+  EmbeddingStore store(2, Metric::kL2);
+  ASSERT_TRUE(store.Add(10, {0, 0}).ok());
+  ASSERT_TRUE(store.Add(11, {1, 0}).ok());
+  ASSERT_TRUE(store.Add(12, {5, 5}).ok());
+  auto hits = store.SearchFlat({0.4f, 0}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 10u);
+  EXPECT_EQ(hits[1].id, 11u);
+}
+
+TEST(EmbeddingStoreTest, CosineIgnoresMagnitude) {
+  EmbeddingStore store(2, Metric::kCosine);
+  ASSERT_TRUE(store.Add(1, {10, 0}).ok());
+  ASSERT_TRUE(store.Add(2, {0, 0.1f}).ok());
+  auto hits = store.SearchFlat({1, 0.01f}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+}
+
+TEST(EmbeddingStoreTest, DimensionMismatchRejected) {
+  EmbeddingStore store(3);
+  EXPECT_FALSE(store.Add(1, {1, 2}).ok());
+  EXPECT_TRUE(store.SearchFlat({1, 2}, 1).empty());
+}
+
+TEST(EmbeddingStoreTest, RemoveInvalidatesIvf) {
+  EmbeddingStore store(2);
+  for (uint64_t i = 0; i < 10; ++i)
+    ASSERT_TRUE(store.Add(i, {static_cast<float>(i), 1}).ok());
+  ASSERT_TRUE(store.BuildIvf(2).ok());
+  EXPECT_TRUE(store.HasIvf());
+  ASSERT_TRUE(store.Remove(3).ok());
+  EXPECT_FALSE(store.HasIvf());
+  EXPECT_EQ(store.size(), 9u);
+  EXPECT_FALSE(store.Remove(3).ok());
+}
+
+class IvfRecallTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IvfRecallTest, IvfRecallIncreasesWithNprobe) {
+  const size_t nprobe = GetParam();
+  tensor::Rng rng(21);
+  EmbeddingStore store(8, Metric::kL2);
+  // 10 well-separated clusters.
+  for (uint64_t i = 0; i < 500; ++i) {
+    std::vector<float> v(8);
+    const float center = static_cast<float>(i % 10) * 20.0f;
+    for (auto& x : v) x = center + rng.NextGaussian();
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  ASSERT_TRUE(store.BuildIvf(10).ok());
+
+  size_t agree = 0;
+  const size_t trials = 40;
+  for (size_t t = 0; t < trials; ++t) {
+    std::vector<float> q(8);
+    const float center = static_cast<float>(t % 10) * 20.0f;
+    for (auto& x : q) x = center + rng.NextGaussian();
+    auto exact = store.SearchFlat(q, 1);
+    auto approx = store.SearchIvf(q, 1, nprobe);
+    ASSERT_FALSE(exact.empty());
+    if (!approx.empty() && approx[0].id == exact[0].id) ++agree;
+  }
+  // With clearly separated clusters even nprobe=1 should mostly agree;
+  // recall must be monotone-ish in nprobe, here simply high.
+  EXPECT_GE(agree, trials * 7 / 10) << "nprobe=" << nprobe;
+}
+
+INSTANTIATE_TEST_SUITE_P(Nprobe, IvfRecallTest,
+                         ::testing::Values(1, 2, 4, 10));
+
+// -------------------------------------------------------- MethodSelector --
+
+GraphSummary MediumGraph() {
+  GraphSummary s;
+  s.num_nodes = 10000;
+  s.num_edges = 50000;
+  s.num_relations = 20;
+  s.num_classes = 10;
+  s.feature_dim = 32;
+  return s;
+}
+
+TEST(MethodSelectorTest, RgcnEstimateDominatesSamplingInMemory) {
+  gml::TrainConfig c;
+  auto rgcn = MethodSelector::Estimate(gml::GmlMethod::kRgcn, MediumGraph(), c);
+  auto saint =
+      MethodSelector::Estimate(gml::GmlMethod::kGraphSaint, MediumGraph(), c);
+  auto morse =
+      MethodSelector::Estimate(gml::GmlMethod::kMorse, MediumGraph(), c);
+  EXPECT_GT(rgcn.memory_bytes, saint.memory_bytes);
+  EXPECT_GT(saint.memory_bytes, morse.memory_bytes);
+}
+
+TEST(MethodSelectorTest, EstimatesScaleWithGraphSize) {
+  gml::TrainConfig c;
+  GraphSummary small = MediumGraph();
+  GraphSummary big = MediumGraph();
+  big.num_nodes *= 10;
+  big.num_edges *= 10;
+  for (auto m : {gml::GmlMethod::kGcn, gml::GmlMethod::kRgcn,
+                 gml::GmlMethod::kTransE}) {
+    auto es = MethodSelector::Estimate(m, small, c);
+    auto eb = MethodSelector::Estimate(m, big, c);
+    EXPECT_GT(eb.memory_bytes, es.memory_bytes) << gml::GmlMethodName(m);
+    EXPECT_GT(eb.seconds, es.seconds) << gml::GmlMethodName(m);
+  }
+}
+
+TEST(MethodSelectorTest, UnconstrainedPicksHighestPrior) {
+  gml::TrainConfig c;
+  TaskBudget budget;  // unconstrained, ModelScore priority
+  auto sel = MethodSelector::Select(gml::TaskType::kNodeClassification,
+                                    MediumGraph(), c, budget);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->method, gml::GmlMethod::kShadowSaint);
+  EXPECT_TRUE(sel->within_budget);
+  EXPECT_EQ(sel->candidates.size(), 5u);
+}
+
+TEST(MethodSelectorTest, TightMemoryBudgetExcludesRgcn) {
+  gml::TrainConfig c;
+  auto rgcn = MethodSelector::Estimate(gml::GmlMethod::kRgcn, MediumGraph(), c);
+  TaskBudget budget;
+  budget.max_memory_bytes = rgcn.memory_bytes / 2;
+  auto sel = MethodSelector::Select(gml::TaskType::kNodeClassification,
+                                    MediumGraph(), c, budget);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_NE(sel->method, gml::GmlMethod::kRgcn);
+}
+
+TEST(MethodSelectorTest, TimePriorityPicksFastest) {
+  gml::TrainConfig c;
+  TaskBudget budget;
+  budget.priority = BudgetPriority::kTime;
+  auto sel = MethodSelector::Select(gml::TaskType::kLinkPrediction,
+                                    MediumGraph(), c, budget);
+  ASSERT_TRUE(sel.ok());
+  double best_seconds = sel->candidates.front().seconds;
+  for (const auto& cand : sel->candidates)
+    EXPECT_GE(cand.seconds, best_seconds);
+}
+
+TEST(MethodSelectorTest, ImpossibleBudgetFallsBackToCheapest) {
+  gml::TrainConfig c;
+  TaskBudget budget;
+  budget.max_memory_bytes = 1;  // nothing fits
+  auto sel = MethodSelector::Select(gml::TaskType::kNodeClassification,
+                                    MediumGraph(), c, budget);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_FALSE(sel->within_budget);
+}
+
+TEST(MethodSelectorTest, ParseBudgetStrings) {
+  EXPECT_EQ(*ParseMemoryBudget("50GB"), size_t(50e9));
+  EXPECT_EQ(*ParseMemoryBudget("512MB"), size_t(512e6));
+  EXPECT_EQ(*ParseMemoryBudget("100"), 100u);
+  EXPECT_FALSE(ParseMemoryBudget("abc").ok());
+  EXPECT_FALSE(ParseMemoryBudget("5XB").ok());
+  EXPECT_DOUBLE_EQ(*ParseTimeBudget("1h"), 3600.0);
+  EXPECT_DOUBLE_EQ(*ParseTimeBudget("15m"), 900.0);
+  EXPECT_DOUBLE_EQ(*ParseTimeBudget("90s"), 90.0);
+  EXPECT_DOUBLE_EQ(*ParseTimeBudget("2.5"), 2.5);
+  EXPECT_FALSE(ParseTimeBudget("yesterday").ok());
+}
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(JsonTest, ParsesStandardJson) {
+  auto v = ParseJson(R"({"a": 1, "b": [true, null, "s"], "c": {"d": -2.5}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_DOUBLE_EQ(v->Find("a")->AsNumber(), 1.0);
+  EXPECT_EQ(v->Find("b")->AsArray().size(), 3u);
+  EXPECT_TRUE(v->Find("b")->AsArray()[0].AsBool());
+  EXPECT_DOUBLE_EQ(v->Find("c")->Find("d")->AsNumber(), -2.5);
+}
+
+TEST(JsonTest, ParsesPaperStyleRelaxedSyntax) {
+  // Figure 8 of the paper: unquoted keys, single quotes, prefixed-name
+  // values, unit-suffixed numbers.
+  auto v = ParseJson(
+      "{Name: 'MAG_Paper-Venue_Classifier',\n"
+      " GML-Task:{ TaskType: kgnet:NodeClassifier,\n"
+      "   TargetNode: dblp:publication,\n"
+      "   NodeLable: dblp:venue},\n"
+      " Task Budget:{ MaxMemory:50GB, MaxTime:1h,\n"
+      "   Priority:ModelScore} }");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->GetString("Name"), "MAG_Paper-Venue_Classifier");
+  const JsonValue* task = v->FindRelaxed("GML-Task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->GetString("TaskType"), "kgnet:NodeClassifier");
+  EXPECT_EQ(task->GetString("NodeLable"), "dblp:venue");
+  const JsonValue* budget = v->FindRelaxed("TaskBudget");
+  ASSERT_NE(budget, nullptr);
+  EXPECT_EQ(budget->GetString("MaxMemory"), "50GB");
+  EXPECT_EQ(budget->GetString("MaxTime"), "1h");
+}
+
+TEST(JsonTest, RelaxedKeyLookup) {
+  auto v = ParseJson("{\"GML-Task\": 1}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_NE(v->FindRelaxed("gmltask"), nullptr);
+  EXPECT_NE(v->FindRelaxed("GML_task"), nullptr);
+  EXPECT_EQ(v->FindRelaxed("other"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{a: }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("{a: 1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{'unterminated: 1}").ok());
+}
+
+}  // namespace
+}  // namespace kgnet::core

@@ -1,0 +1,192 @@
+// Additional SPARQL engine coverage: solution modifiers, aliases, result
+// rendering, error paths, cardinality estimation and randomized BGP
+// correctness against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sparql/engine.h"
+#include "sparql/parser.h"
+#include "tensor/rng.h"
+
+namespace kgnet::sparql {
+namespace {
+
+using rdf::Term;
+
+class EngineExtraTest : public ::testing::Test {
+ protected:
+  EngineExtraTest() : engine_(&store_) {
+    for (int i = 0; i < 10; ++i) {
+      const std::string node = "http://x/n" + std::to_string(i);
+      store_.InsertIris(node, std::string(rdf::kRdfType), "http://x/T");
+      store_.Insert(Term::Iri(node), Term::Iri("http://x/rank"),
+                    Term::IntLiteral(i));
+      if (i > 0)
+        store_.InsertIris(node, "http://x/next",
+                          "http://x/n" + std::to_string(i - 1));
+    }
+  }
+  rdf::TripleStore store_;
+  QueryEngine engine_;
+};
+
+TEST_F(EngineExtraTest, OffsetAndLimitPaginate) {
+  std::set<std::string> seen;
+  for (int page = 0; page < 5; ++page) {
+    auto r = engine_.ExecuteString(
+        "SELECT ?n WHERE { ?n a <http://x/T> . } LIMIT 2 OFFSET " +
+        std::to_string(page * 2));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->NumRows(), 2u);
+    for (const auto& row : r->rows) seen.insert(row[0].lexical);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // pages partition the result
+}
+
+TEST_F(EngineExtraTest, OffsetBeyondResultIsEmpty) {
+  auto r = engine_.ExecuteString(
+      "SELECT ?n WHERE { ?n a <http://x/T> . } OFFSET 99");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 0u);
+}
+
+TEST_F(EngineExtraTest, VariableAliasInProjection) {
+  auto r = engine_.ExecuteString(
+      "SELECT ?n AS ?node WHERE { ?n a <http://x/T> . } LIMIT 1");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->columns.size(), 1u);
+  EXPECT_EQ(r->columns[0], "node");
+}
+
+TEST_F(EngineExtraTest, ColumnIndexAndToTable) {
+  auto r = engine_.ExecuteString(
+      "SELECT ?n ?v WHERE { ?n <http://x/rank> ?v . } LIMIT 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ColumnIndex("n"), 0);
+  EXPECT_EQ(r->ColumnIndex("v"), 1);
+  EXPECT_EQ(r->ColumnIndex("nope"), -1);
+  const std::string table = r->ToTable();
+  EXPECT_NE(table.find("n"), std::string::npos);
+  EXPECT_NE(table.find(" | "), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);  // header + 3
+}
+
+TEST_F(EngineExtraTest, FilterChainAndNot) {
+  auto r = engine_.ExecuteString(
+      "SELECT ?n WHERE { ?n <http://x/rank> ?v . "
+      "FILTER(!(?v < 3) && ?v <= 5) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumRows(), 3u);  // ranks 3, 4, 5
+}
+
+TEST_F(EngineExtraTest, FilterOrShortCircuits) {
+  auto r = engine_.ExecuteString(
+      "SELECT ?n WHERE { ?n <http://x/rank> ?v . "
+      "FILTER(?v = 0 || ?v = 9) }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 2u);
+}
+
+TEST_F(EngineExtraTest, UnknownUdfFailsCleanly) {
+  auto r = engine_.ExecuteString(
+      "SELECT my:missing(?n) AS ?x WHERE { ?n a <http://x/T> . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineExtraTest, UdfErrorPropagates) {
+  engine_.udfs().Register(
+      "my:fails", [](const std::vector<Term>&) -> Result<Term> {
+        return Status::Internal("boom");
+      });
+  auto r = engine_.ExecuteString(
+      "SELECT my:fails(?n) AS ?x WHERE { ?n a <http://x/T> . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(EngineExtraTest, ChainJoinFollowsPath) {
+  // n9 -> n8 -> n7 via two hops.
+  auto r = engine_.ExecuteString(
+      "SELECT ?c WHERE { <http://x/n9> <http://x/next> ?b . "
+      "?b <http://x/next> ?c . }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 1u);
+  EXPECT_EQ(r->rows[0][0].lexical, "http://x/n7");
+}
+
+TEST_F(EngineExtraTest, EstimateWhereCardinality) {
+  auto q = ParseQuery("SELECT ?n WHERE { ?n a <http://x/T> . }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(engine_.EstimateWhereCardinality(*q), 10u);
+  auto zero = ParseQuery("SELECT ?n WHERE { ?n a <http://x/Missing> . }");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(engine_.EstimateWhereCardinality(*zero), 0u);
+}
+
+TEST_F(EngineExtraTest, InsertWhereIsIdempotentOnRerun) {
+  const std::string update =
+      "INSERT { ?n <http://x/flag> \"y\" } WHERE { ?n a <http://x/T> . }";
+  auto first = engine_.ExecuteString(update);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->num_inserted, 10u);
+  auto second = engine_.ExecuteString(update);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->num_inserted, 0u);  // duplicates ignored
+}
+
+TEST_F(EngineExtraTest, DeleteWithUnboundTemplateVariableFails) {
+  auto r = engine_.ExecuteString(
+      "DELETE { ?ghost <http://x/p> ?n } WHERE { ?n a <http://x/T> . }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Randomized property test: the engine's 2-pattern BGP join agrees with a
+/// brute-force nested-loop oracle over random graphs.
+class BgpOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BgpOracleTest, TwoPatternJoinMatchesOracle) {
+  tensor::Rng rng(GetParam());
+  rdf::TripleStore store;
+  struct T {
+    std::string s, p, o;
+  };
+  std::vector<T> triples;
+  for (int i = 0; i < 120; ++i) {
+    T t{"n" + std::to_string(rng.NextUint(12)),
+        "p" + std::to_string(rng.NextUint(3)),
+        "n" + std::to_string(rng.NextUint(12))};
+    triples.push_back(t);
+    store.InsertIris(t.s, t.p, t.o);
+  }
+  // Deduplicate the oracle's triples the same way the store does.
+  std::sort(triples.begin(), triples.end(), [](const T& a, const T& b) {
+    return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+  });
+  triples.erase(std::unique(triples.begin(), triples.end(),
+                            [](const T& a, const T& b) {
+                              return a.s == b.s && a.p == b.p && a.o == b.o;
+                            }),
+                triples.end());
+
+  QueryEngine engine(&store);
+  // ?a p0 ?b . ?b p1 ?c
+  auto r = engine.ExecuteString(
+      "SELECT ?a ?b ?c WHERE { ?a <p0> ?b . ?b <p1> ?c . }");
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  size_t oracle = 0;
+  for (const T& x : triples)
+    for (const T& y : triples)
+      if (x.p == "p0" && y.p == "p1" && x.o == y.s) ++oracle;
+  EXPECT_EQ(r->NumRows(), oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BgpOracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace kgnet::sparql

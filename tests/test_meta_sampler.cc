@@ -1,0 +1,148 @@
+#include "core/meta_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/dblp_gen.h"
+
+namespace kgnet::core {
+namespace {
+
+using workload::DblpSchema;
+
+/// Hand-built KG:
+///   t1 a T ; t1 -> m1 -> far1 (2 hops out)
+///   in1 -> t1 (incoming)
+///   t1 label L1 (supervision)
+///   island (unreachable)
+class MetaSamplerTest : public ::testing::Test {
+ protected:
+  MetaSamplerTest() {
+    const std::string type = std::string(rdf::kRdfType);
+    store_.InsertIris("t1", type, "T");
+    store_.InsertIris("t2", type, "T");
+    store_.InsertIris("t1", "out", "m1");
+    store_.InsertIris("m1", "out", "far1");
+    store_.InsertIris("far1", "out", "far2");
+    store_.InsertIris("in1", "in", "t1");
+    store_.InsertIris("before_in1", "in", "in1");
+    store_.InsertIris("t1", "label", "L1");
+    store_.InsertIris("t2", "label", "L2");
+    store_.InsertIris("island", "out", "island2");
+    store_.InsertIris("m1", type, "M");
+  }
+
+  MetaSampleSpec Spec(SampleDirection d, uint32_t h) {
+    MetaSampleSpec s;
+    s.target_type_iri = "T";
+    s.supervision_predicate_iris = {"label"};
+    s.direction = d;
+    s.hops = h;
+    return s;
+  }
+
+  bool Has(const rdf::TripleStore& kg, const std::string& s,
+           const std::string& p, const std::string& o) {
+    rdf::TermId si = kg.dict().FindIri(s), pi = kg.dict().FindIri(p),
+                oi = kg.dict().FindIri(o);
+    if (si == rdf::kNullTermId || pi == rdf::kNullTermId ||
+        oi == rdf::kNullTermId)
+      return false;
+    return kg.Contains(rdf::Triple(si, pi, oi));
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(MetaSamplerTest, D1H1KeepsOutgoingOneHop) {
+  MetaSampler sampler(&store_);
+  MetaSampleStats stats;
+  auto kg = sampler.Extract(Spec(SampleDirection::kOutgoing, 1), &stats);
+  ASSERT_TRUE(kg.ok()) << kg.status();
+  EXPECT_TRUE(Has(**kg, "t1", "out", "m1"));
+  EXPECT_FALSE(Has(**kg, "m1", "out", "far1"));   // 2 hops out
+  EXPECT_FALSE(Has(**kg, "in1", "in", "t1"));     // incoming
+  EXPECT_FALSE(Has(**kg, "island", "out", "island2"));
+  EXPECT_TRUE(Has(**kg, "t1", "label", "L1"));    // supervision kept
+  EXPECT_TRUE(Has(**kg, "t2", "label", "L2"));
+  EXPECT_EQ(stats.seed_nodes, 2u);
+  EXPECT_LT(stats.extracted_triples, stats.original_triples);
+  EXPECT_GT(stats.reduction_ratio(), 0.0);
+}
+
+TEST_F(MetaSamplerTest, D2H1AddsIncomingEdges) {
+  MetaSampler sampler(&store_);
+  auto kg = sampler.Extract(Spec(SampleDirection::kBidirectional, 1));
+  ASSERT_TRUE(kg.ok());
+  EXPECT_TRUE(Has(**kg, "in1", "in", "t1"));
+  EXPECT_FALSE(Has(**kg, "before_in1", "in", "in1"));  // 2 hops in
+}
+
+TEST_F(MetaSamplerTest, D1H2ReachesTwoHops) {
+  MetaSampler sampler(&store_);
+  auto kg = sampler.Extract(Spec(SampleDirection::kOutgoing, 2));
+  ASSERT_TRUE(kg.ok());
+  EXPECT_TRUE(Has(**kg, "m1", "out", "far1"));
+  EXPECT_FALSE(Has(**kg, "far1", "out", "far2"));  // 3 hops
+}
+
+TEST_F(MetaSamplerTest, TypeTriplesOfIncludedNodesKept) {
+  MetaSampler sampler(&store_);
+  auto kg = sampler.Extract(Spec(SampleDirection::kOutgoing, 1));
+  ASSERT_TRUE(kg.ok());
+  EXPECT_TRUE(Has(**kg, "t1", std::string(rdf::kRdfType), "T"));
+  EXPECT_TRUE(Has(**kg, "m1", std::string(rdf::kRdfType), "M"));
+}
+
+TEST_F(MetaSamplerTest, ErrorsOnUnknownTargets) {
+  MetaSampler sampler(&store_);
+  MetaSampleSpec s = Spec(SampleDirection::kOutgoing, 1);
+  s.target_type_iri = "Nonexistent";
+  EXPECT_FALSE(sampler.Extract(s).ok());
+  s = Spec(SampleDirection::kOutgoing, 1);
+  s.supervision_predicate_iris = {"nope"};
+  EXPECT_FALSE(sampler.Extract(s).ok());
+}
+
+TEST_F(MetaSamplerTest, LabelsAndDescription) {
+  MetaSampleSpec s = Spec(SampleDirection::kOutgoing, 1);
+  EXPECT_EQ(SampleSpecLabel(s), "d1h1");
+  s.direction = SampleDirection::kBidirectional;
+  s.hops = 2;
+  EXPECT_EQ(SampleSpecLabel(s), "d2h2");
+  const std::string sparql = MetaSampler::DescribeAsSparql(s);
+  EXPECT_NE(sparql.find("CONSTRUCT"), std::string::npos);
+  EXPECT_NE(sparql.find("T"), std::string::npos);
+}
+
+TEST(MetaSamplerDblpTest, ReductionOnRealisticKg) {
+  rdf::TripleStore store;
+  workload::DblpOptions opts;
+  opts.num_papers = 300;
+  opts.num_authors = 150;
+  opts.num_venues = 5;
+  opts.num_affiliations = 10;
+  opts.periphery_scale = 2.0;
+  ASSERT_TRUE(workload::GenerateDblp(opts, &store).ok());
+
+  MetaSampler sampler(&store);
+  MetaSampleSpec spec;
+  spec.target_type_iri = DblpSchema::Publication();
+  spec.supervision_predicate_iris = {DblpSchema::PublishedIn()};
+  spec.direction = SampleDirection::kOutgoing;
+  spec.hops = 1;
+  MetaSampleStats stats;
+  auto kg = sampler.Extract(spec, &stats);
+  ASSERT_TRUE(kg.ok()) << kg.status();
+  // The periphery (topics, editors, events) must be pruned away: expect a
+  // substantial reduction.
+  EXPECT_GT(stats.reduction_ratio(), 0.3);
+  // Every paper keeps its label edge.
+  rdf::TermId label = (*kg)->dict().FindIri(DblpSchema::PublishedIn());
+  ASSERT_NE(label, rdf::kNullTermId);
+  EXPECT_EQ((*kg)->Count(rdf::TriplePattern(rdf::kNullTermId, label,
+                                            rdf::kNullTermId)),
+            300u);
+}
+
+}  // namespace
+}  // namespace kgnet::core

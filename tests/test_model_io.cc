@@ -1,0 +1,210 @@
+// Model persistence: save/load round trips for NC and LP models, and
+// serving parity between live models and loaded bundles.
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+#include "core/kgnet.h"
+#include "workload/dblp_gen.h"
+
+namespace kgnet::core {
+namespace {
+
+using workload::DblpSchema;
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  ModelIoTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("kgnet_model_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+
+    workload::DblpOptions opts;
+    opts.num_papers = 80;
+    opts.num_authors = 40;
+    opts.num_venues = 4;
+    opts.num_affiliations = 8;
+    opts.include_periphery = false;
+    EXPECT_TRUE(workload::GenerateDblp(opts, &kg_.store()).ok());
+
+    TrainTaskSpec nc;
+    nc.task = gml::TaskType::kNodeClassification;
+    nc.target_type_iri = DblpSchema::Publication();
+    nc.label_predicate_iri = DblpSchema::PublishedIn();
+    nc.config.epochs = 3;
+    nc.config.hidden_dim = 8;
+    nc.config.embed_dim = 8;
+    nc.model_name = "nc";
+    auto nc_out = kg_.TrainTask(nc);
+    EXPECT_TRUE(nc_out.ok());
+    nc_uri_ = nc_out->model_uri;
+
+    TrainTaskSpec lp;
+    lp.task = gml::TaskType::kLinkPrediction;
+    lp.target_type_iri = DblpSchema::Person();
+    lp.destination_type_iri = DblpSchema::Affiliation();
+    lp.task_predicate_iri = DblpSchema::PrimaryAffiliation();
+    lp.config.epochs = 3;
+    lp.config.embed_dim = 8;
+    lp.model_name = "lp";
+    auto lp_out = kg_.TrainTask(lp);
+    EXPECT_TRUE(lp_out.ok());
+    lp_uri_ = lp_out->model_uri;
+  }
+
+  ~ModelIoTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  KgNet kg_;
+  std::filesystem::path dir_;
+  std::string nc_uri_;
+  std::string lp_uri_;
+};
+
+TEST_F(ModelIoTest, NcBundleCoversAllTargets) {
+  auto model = kg_.service().model_store().Get(nc_uri_);
+  ASSERT_TRUE(model.ok());
+  auto bundle = BuildServingBundle(**model);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->nc_predictions.size(), 80u);
+}
+
+TEST_F(ModelIoTest, SaveLoadRoundTripPreservesInfo) {
+  auto model = kg_.service().model_store().Get(nc_uri_);
+  ASSERT_TRUE(model.ok());
+  const std::string path = (dir_ / "nc.kgm").string();
+  ASSERT_TRUE(SaveTrainedModel(**model, path).ok());
+
+  auto loaded = LoadTrainedModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const ModelInfo& a = (*model)->info;
+  const ModelInfo& b = (*loaded)->info;
+  EXPECT_EQ(a.uri, b.uri);
+  EXPECT_EQ(a.task, b.task);
+  EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.target_type_iri, b.target_type_iri);
+  EXPECT_EQ(a.sampler_label, b.sampler_label);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.cardinality, b.cardinality);
+  ASSERT_NE((*loaded)->bundle, nullptr);
+}
+
+TEST_F(ModelIoTest, LoadedNcModelServesIdenticalPredictions) {
+  auto& manager = kg_.service().inference_manager();
+  auto live = manager.GetNodeClassDictionary(nc_uri_);
+  ASSERT_TRUE(live.ok());
+
+  const std::string path = (dir_ / "nc.kgm").string();
+  auto model = kg_.service().model_store().Get(nc_uri_);
+  ASSERT_TRUE(SaveTrainedModel(**model, path).ok());
+
+  // Replace the live model with the loaded bundle under the same URI.
+  auto loaded = LoadTrainedModel(path);
+  ASSERT_TRUE(loaded.ok());
+  kg_.service().model_store().Put(*loaded);
+
+  auto served = manager.GetNodeClassDictionary(nc_uri_);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_EQ(*served, *live);
+  // Per-instance path too.
+  auto one = manager.GetNodeClass(nc_uri_,
+                                  "https://dblp.org/rdf/publication/3");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, live->at("https://dblp.org/rdf/publication/3"));
+}
+
+TEST_F(ModelIoTest, LoadedLpModelServesLinksAndSimilarity) {
+  const std::string path = (dir_ / "lp.kgm").string();
+  auto model = kg_.service().model_store().Get(lp_uri_);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(SaveTrainedModel(**model, path).ok());
+  auto loaded = LoadTrainedModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  kg_.service().model_store().Put(*loaded);
+
+  auto& manager = kg_.service().inference_manager();
+  auto links =
+      manager.GetTopKLinks(lp_uri_, "https://dblp.org/rdf/person/0", 3);
+  ASSERT_TRUE(links.ok()) << links.status();
+  EXPECT_EQ(links->size(), 3u);
+  for (const auto& iri : *links)
+    EXPECT_NE(iri.find("affiliation"), std::string::npos) << iri;
+
+  auto sims = manager.GetSimilarEntities(
+      lp_uri_, "https://dblp.org/rdf/person/1", 4);
+  ASSERT_TRUE(sims.ok()) << sims.status();
+  EXPECT_EQ(sims->size(), 4u);
+}
+
+TEST_F(ModelIoTest, SaveLoadWholeStore) {
+  const std::string store_dir = (dir_ / "models").string();
+  auto n = SaveModelStore(kg_.service().model_store(),
+                          kg_.service().kgmeta(), store_dir);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_TRUE(std::filesystem::exists(store_dir + "/kgmeta.nt"));
+
+  ModelStore fresh_store;
+  KgMeta fresh_meta;
+  auto loaded = LoadModelStore(store_dir, &fresh_store, &fresh_meta);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_EQ(fresh_store.size(), 2u);
+  EXPECT_EQ(fresh_meta.NumModels(), 2u);
+  EXPECT_TRUE(fresh_store.Get(nc_uri_).ok());
+  EXPECT_TRUE(fresh_store.Get(lp_uri_).ok());
+  auto info = fresh_meta.Get(nc_uri_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->target_type_iri, DblpSchema::Publication());
+}
+
+TEST_F(ModelIoTest, LoadRejectsGarbage) {
+  const std::string path = (dir_ / "junk.kgm").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a model", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadTrainedModel(path).status().code(), StatusCode::kParseError);
+  EXPECT_EQ(LoadTrainedModel((dir_ / "missing.kgm").string())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ModelIoTest, SparqlMlWorksAgainstLoadedModels) {
+  // Persist, wipe, reload — then answer a Figure-2-style query from the
+  // restored bundle.
+  const std::string store_dir = (dir_ / "models").string();
+  ASSERT_TRUE(SaveModelStore(kg_.service().model_store(),
+                             kg_.service().kgmeta(), store_dir)
+                  .ok());
+  for (const auto& uri : kg_.service().model_store().ListUris())
+    (void)kg_.service().model_store().Remove(uri);
+  ASSERT_EQ(kg_.service().model_store().size(), 0u);
+  auto loaded = LoadModelStore(store_dir, &kg_.service().model_store(),
+                               &kg_.service().kgmeta());
+  ASSERT_TRUE(loaded.ok());
+
+  auto r = kg_.Execute(
+      "PREFIX dblp: <https://dblp.org/rdf/>\n"
+      "PREFIX kgnet: <https://www.kgnet.com/>\n"
+      "SELECT ?paper ?venue WHERE {\n"
+      " ?paper a dblp:Publication .\n"
+      " ?paper ?clf ?venue .\n"
+      " ?clf a kgnet:NodeClassifier .\n"
+      " ?clf kgnet:TargetNode dblp:Publication . } LIMIT 6");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumRows(), 6u);
+  for (const auto& row : r->rows)
+    EXPECT_NE(row[1].lexical.find("venue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgnet::core

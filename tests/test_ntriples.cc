@@ -1,0 +1,97 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kgnet::rdf {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  auto r = ParseNTriplesLine("<http://a> <http://p> <http://b> .");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->s.lexical, "http://a");
+  EXPECT_EQ(r->p.lexical, "http://p");
+  EXPECT_EQ(r->o.lexical, "http://b");
+  EXPECT_TRUE(r->o.is_iri());
+}
+
+TEST(NTriplesTest, ParsesLiteralForms) {
+  auto plain = ParseNTriplesLine("<a> <p> \"hello world\" .");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->o.is_literal());
+  EXPECT_EQ(plain->o.lexical, "hello world");
+
+  auto typed = ParseNTriplesLine(
+      "<a> <p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->o.datatype, "http://www.w3.org/2001/XMLSchema#integer");
+
+  auto tagged = ParseNTriplesLine("<a> <p> \"bonjour\"@fr .");
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ(tagged->o.lang, "fr");
+}
+
+TEST(NTriplesTest, ParsesEscapes) {
+  auto r = ParseNTriplesLine("<a> <p> \"line\\nbreak \\\"q\\\" \\\\\" .");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->o.lexical, "line\nbreak \"q\" \\");
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  auto r = ParseNTriplesLine("_:b1 <p> _:b2 .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->s.is_blank());
+  EXPECT_EQ(r->s.lexical, "b1");
+  EXPECT_TRUE(r->o.is_blank());
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> <b>").ok());   // missing dot
+  EXPECT_FALSE(ParseNTriplesLine("<a> \"lit\" <b> .").ok());  // literal pred
+  EXPECT_FALSE(ParseNTriplesLine("<a <p> <b> .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"unterminated .").ok());
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlanks) {
+  TripleStore store;
+  auto n = LoadNTriples("# comment\n\n<a> <p> <b> .\n  \n<a> <p> <c> .\n",
+                        &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+}
+
+TEST(NTriplesTest, ReportsLineNumberOnError) {
+  TripleStore store;
+  auto n = LoadNTriples("<a> <p> <b> .\ngarbage here\n", &store);
+  ASSERT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, RoundTripsThroughSerialization) {
+  TripleStore store;
+  store.Insert(Term::Iri("http://s"), Term::Iri("http://p"),
+               Term::Literal("v with \"quotes\" and\nnewline"));
+  store.Insert(Term::Iri("http://s"), Term::Iri("http://p"),
+               Term::IntLiteral(7));
+  store.Insert(Term::Blank("x"), Term::Iri("http://p"), Term::Iri("http://o"));
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteNTriples(store, os).ok());
+
+  TripleStore reloaded;
+  auto n = LoadNTriples(os.str(), &reloaded);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, store.size());
+  // Every original triple survives the round trip.
+  store.Scan(TriplePattern(), [&](const Triple& t) {
+    Triple mapped(reloaded.dict().Find(store.dict().Lookup(t.s)),
+                  reloaded.dict().Find(store.dict().Lookup(t.p)),
+                  reloaded.dict().Find(store.dict().Lookup(t.o)));
+    EXPECT_TRUE(reloaded.Contains(mapped));
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace kgnet::rdf

@@ -1,0 +1,99 @@
+#include "sparql/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/engine.h"
+#include "sparql/parser.h"
+
+namespace kgnet::sparql {
+namespace {
+
+using rdf::Term;
+
+/// Parse -> serialize -> parse -> serialize must be a fixpoint.
+void ExpectRoundTrip(const std::string& text) {
+  auto q1 = ParseQuery(text);
+  ASSERT_TRUE(q1.ok()) << q1.status() << "\n" << text;
+  const std::string s1 = SerializeQuery(*q1);
+  auto q2 = ParseQuery(s1);
+  ASSERT_TRUE(q2.ok()) << q2.status() << "\nserialized:\n" << s1;
+  const std::string s2 = SerializeQuery(*q2);
+  EXPECT_EQ(s1, s2) << "not a fixpoint for:\n" << text;
+}
+
+TEST(SerializerTest, TermForms) {
+  EXPECT_EQ(SerializeTerm(Term::Iri("http://x/a")), "<http://x/a>");
+  EXPECT_EQ(SerializeTerm(Term::Literal("hi")), "\"hi\"");
+  EXPECT_EQ(SerializeTerm(Term::IntLiteral(5)),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(SerializeTerm(Term::Blank("b")), "_:b");
+}
+
+TEST(SerializerTest, NodeForms) {
+  EXPECT_EQ(SerializeNode(NodeRef::Var("x")), "?x");
+  EXPECT_EQ(SerializeNode(NodeRef::Const(Term::Iri("a"))), "<a>");
+}
+
+TEST(SerializerTest, ExprForms) {
+  auto e = Expr::Binary(ExprOp::kAnd,
+                        Expr::Binary(ExprOp::kGt, Expr::Var("y"),
+                                     Expr::Const(Term::IntLiteral(3))),
+                        Expr::Binary(ExprOp::kNe, Expr::Var("y"),
+                                     Expr::Const(Term::IntLiteral(7))));
+  const std::string s = SerializeExpr(e);
+  EXPECT_NE(s.find("?y"), std::string::npos);
+  EXPECT_NE(s.find(">"), std::string::npos);
+  EXPECT_NE(s.find("&&"), std::string::npos);
+
+  auto call = Expr::Call("sql:UDFS.getNodeClass",
+                         {Expr::Const(Term::Iri("m")), Expr::Var("p")});
+  EXPECT_EQ(SerializeExpr(call), "sql:UDFS.getNodeClass(<m>, ?p)");
+}
+
+TEST(SerializerTest, RoundTripsSelect) {
+  ExpectRoundTrip(
+      "SELECT DISTINCT ?s ?o WHERE { ?s <http://p> ?o . "
+      "FILTER(?o > 3) } LIMIT 5 OFFSET 2");
+}
+
+TEST(SerializerTest, RoundTripsAsk) {
+  ExpectRoundTrip("ASK { <http://a> <http://p> \"v\" . }");
+}
+
+TEST(SerializerTest, RoundTripsUpdates) {
+  ExpectRoundTrip("INSERT DATA { <a> <p> <b> . }");
+  ExpectRoundTrip("INSERT { ?s <flag> \"y\" } WHERE { ?s <p> ?o . }");
+  ExpectRoundTrip("DELETE { ?s ?p ?o } WHERE { ?s ?p ?o . }");
+}
+
+TEST(SerializerTest, RoundTripsSubSelect) {
+  ExpectRoundTrip(
+      "SELECT ?x WHERE { ?x <p> ?y . { SELECT ?y WHERE { ?y <q> ?z . } } }");
+}
+
+TEST(SerializerTest, RoundTripsUdfProjection) {
+  ExpectRoundTrip(
+      "SELECT ?t sql:UDFS.getNodeClass(<http://m>, ?p) AS ?venue "
+      "WHERE { ?p <title> ?t . }");
+}
+
+TEST(SerializerTest, SerializedQueryExecutesIdentically) {
+  rdf::TripleStore store;
+  store.InsertIris("http://a", "http://p", "http://b");
+  store.InsertIris("http://a", "http://p", "http://c");
+  store.InsertIris("http://b", "http://p", "http://c");
+  QueryEngine engine(&store);
+
+  const std::string text =
+      "SELECT ?o WHERE { <http://a> <http://p> ?o . }";
+  auto direct = engine.ExecuteString(text);
+  ASSERT_TRUE(direct.ok());
+  auto parsed = ParseQuery(text);
+  ASSERT_TRUE(parsed.ok());
+  auto via_serializer = engine.ExecuteString(SerializeQuery(*parsed));
+  ASSERT_TRUE(via_serializer.ok()) << via_serializer.status();
+  EXPECT_EQ(direct->NumRows(), via_serializer->NumRows());
+}
+
+}  // namespace
+}  // namespace kgnet::sparql

@@ -1,0 +1,277 @@
+// Unit tests for the SPARQL-ML pipeline stages: Analyze, ChoosePlan,
+// Rewrite, Explain — plus the entity-similarity task end to end.
+#include <gtest/gtest.h>
+
+#include "core/kgnet.h"
+#include "sparql/parser.h"
+#include "sparql/serializer.h"
+#include "workload/dblp_gen.h"
+
+namespace kgnet::core {
+namespace {
+
+using workload::DblpSchema;
+
+constexpr char kPrefixes[] =
+    "PREFIX dblp: <https://dblp.org/rdf/>\n"
+    "PREFIX kgnet: <https://www.kgnet.com/>\n";
+
+class SparqlMlAnalysisTest : public ::testing::Test {
+ protected:
+  SparqlMlAnalysisTest() {
+    workload::DblpOptions opts;
+    opts.num_papers = 120;
+    opts.num_authors = 60;
+    opts.num_venues = 4;
+    opts.num_affiliations = 8;
+    opts.include_periphery = false;
+    EXPECT_TRUE(workload::GenerateDblp(opts, &kg_.store()).ok());
+  }
+
+  SparqlMlAnalysis Analyze(const std::string& query) {
+    auto parsed = sparql::ParseQuery(query);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto analysis = kg_.service().Analyze(*parsed);
+    EXPECT_TRUE(analysis.ok()) << analysis.status();
+    return std::move(*analysis);
+  }
+
+  KgNet kg_;
+};
+
+TEST_F(SparqlMlAnalysisTest, PlainSparqlHasNoUdps) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?t WHERE { ?p dblp:title ?t . }");
+  EXPECT_FALSE(a.is_sparql_ml());
+}
+
+TEST_F(SparqlMlAnalysisTest, VariablePredicateWithoutKgnetTypeIsNotUdp) {
+  // A generic join variable in predicate position must not be mistaken
+  // for a user-defined predicate.
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?p WHERE { ?s ?p ?o . }");
+  EXPECT_FALSE(a.is_sparql_ml());
+}
+
+TEST_F(SparqlMlAnalysisTest, DetectsNodeClassifierUdp) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?venue WHERE {\n"
+                   " ?paper a dblp:Publication .\n"
+                   " ?paper ?clf ?venue .\n"
+                   " ?clf a kgnet:NodeClassifier .\n"
+                   " ?clf kgnet:TargetNode dblp:Publication .\n"
+                   " ?clf kgnet:NodeLabel dblp:publishedIn . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  const UserDefinedPredicate& udp = a.udps[0];
+  EXPECT_EQ(udp.var, "clf");
+  EXPECT_EQ(udp.task, gml::TaskType::kNodeClassification);
+  EXPECT_EQ(udp.subject_var, "paper");
+  EXPECT_EQ(udp.object_var, "venue");
+  EXPECT_EQ(udp.constraints.target_type_iri, DblpSchema::Publication());
+  EXPECT_EQ(udp.constraints.label_predicate_iri, DblpSchema::PublishedIn());
+  EXPECT_EQ(udp.meta_triples.size(), 3u);
+}
+
+TEST_F(SparqlMlAnalysisTest, DetectsLinkPredictorWithTopK) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?aff WHERE {\n"
+                   " ?author a dblp:Person .\n"
+                   " ?author ?lp ?aff .\n"
+                   " ?lp a kgnet:LinkPredictor .\n"
+                   " ?lp kgnet:SourceNode dblp:Person .\n"
+                   " ?lp kgnet:DestinationNode dblp:Affiliation .\n"
+                   " ?lp kgnet:TopK-Links 7 . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  EXPECT_EQ(a.udps[0].task, gml::TaskType::kLinkPrediction);
+  EXPECT_EQ(a.udps[0].topk, 7u);
+  EXPECT_EQ(a.udps[0].constraints.source_type_iri, DblpSchema::Person());
+}
+
+TEST_F(SparqlMlAnalysisTest, DetectsSimilarEntitiesUdp) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?sim WHERE {\n"
+                   " ?author a dblp:Person .\n"
+                   " ?author ?es ?sim .\n"
+                   " ?es a kgnet:SimilarEntities .\n"
+                   " ?es kgnet:TargetNode dblp:Person . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  EXPECT_EQ(a.udps[0].task, gml::TaskType::kEntitySimilarity);
+  // For non-NC tasks TargetNode maps to the source type.
+  EXPECT_EQ(a.udps[0].constraints.source_type_iri, DblpSchema::Person());
+}
+
+TEST_F(SparqlMlAnalysisTest, SelectModelFailsWithoutTrainedModels) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?v WHERE { ?p ?clf ?v . "
+                   "?clf a kgnet:NodeClassifier . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  auto model = kg_.service().SelectModel(a.udps[0]);
+  EXPECT_EQ(model.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SparqlMlAnalysisTest, ChoosePlanScalesWithInstanceCount) {
+  ModelInfo model;
+  model.uri = "m";
+  model.task = gml::TaskType::kNodeClassification;
+  model.cardinality = 120;
+
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?v WHERE { ?p a dblp:Publication . ?p ?clf ?v . "
+                   "?clf a kgnet:NodeClassifier . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  // 120 papers >> break-even: dictionary plan.
+  EXPECT_EQ(kg_.service().ChoosePlan(a, a.udps[0], model),
+            RewritePlan::kDictionary);
+
+  // A single bound instance: per-instance plan. Constrain ?p to one title.
+  auto single =
+      Analyze(std::string(kPrefixes) +
+              "SELECT ?v WHERE { ?p dblp:title \"Paper 5\" . ?p ?clf ?v . "
+              "?clf a kgnet:NodeClassifier . }");
+  ASSERT_EQ(single.udps.size(), 1u);
+  EXPECT_EQ(kg_.service().ChoosePlan(single, single.udps[0], model),
+            RewritePlan::kPerInstance);
+}
+
+TEST_F(SparqlMlAnalysisTest, RewriteStripsMetaTriplesAndAddsUdf) {
+  auto a = Analyze(std::string(kPrefixes) +
+                   "SELECT ?title ?venue WHERE {\n"
+                   " ?paper a dblp:Publication .\n"
+                   " ?paper dblp:title ?title .\n"
+                   " ?paper ?clf ?venue .\n"
+                   " ?clf a kgnet:NodeClassifier .\n"
+                   " ?clf kgnet:TargetNode dblp:Publication . }");
+  ASSERT_EQ(a.udps.size(), 1u);
+  ModelInfo model;
+  model.uri = KgnetVocab::Name("model/test-1");
+  model.task = gml::TaskType::kNodeClassification;
+
+  auto per = kg_.service().Rewrite(a, a.udps[0], model,
+                                   RewritePlan::kPerInstance);
+  ASSERT_TRUE(per.ok()) << per.status();
+  // Only the two data triples survive.
+  EXPECT_EQ(per->where.triples.size(), 2u);
+  const std::string per_text = sparql::SerializeQuery(*per);
+  EXPECT_NE(per_text.find("sql:UDFS.getNodeClass"), std::string::npos);
+  EXPECT_NE(per_text.find(model.uri), std::string::npos);
+
+  auto dict = kg_.service().Rewrite(a, a.udps[0], model,
+                                    RewritePlan::kDictionary);
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->where.subselects.size(), 1u);
+  const std::string dict_text = sparql::SerializeQuery(*dict);
+  EXPECT_NE(dict_text.find("sql:UDFS.getNodeClassDict"), std::string::npos);
+  EXPECT_NE(dict_text.find("sql:UDFS.getKeyValue"), std::string::npos);
+}
+
+TEST_F(SparqlMlAnalysisTest, ExplainReportsModelPlanAndRewrite) {
+  // Train a tiny model first so SelectModel succeeds.
+  TrainTaskSpec spec;
+  spec.task = gml::TaskType::kNodeClassification;
+  spec.target_type_iri = DblpSchema::Publication();
+  spec.label_predicate_iri = DblpSchema::PublishedIn();
+  spec.config.epochs = 2;
+  spec.config.hidden_dim = 8;
+  spec.config.embed_dim = 8;
+  spec.model_name = "explain-test";
+  ASSERT_TRUE(kg_.TrainTask(spec).ok());
+
+  auto ex = kg_.service().Explain(std::string(kPrefixes) +
+                                  "SELECT ?venue WHERE {\n"
+                                  " ?paper a dblp:Publication .\n"
+                                  " ?paper ?clf ?venue .\n"
+                                  " ?clf a kgnet:NodeClassifier . }");
+  ASSERT_TRUE(ex.ok()) << ex.status();
+  EXPECT_TRUE(ex->is_sparql_ml);
+  ASSERT_EQ(ex->model_uris.size(), 1u);
+  EXPECT_NE(ex->model_uris[0].find("explain-test"), std::string::npos);
+  EXPECT_EQ(ex->plan, RewritePlan::kDictionary);
+  EXPECT_NE(ex->rewritten_sparql.find("sql:UDFS."), std::string::npos);
+  // The rewritten text parses as plain SPARQL.
+  EXPECT_TRUE(sparql::ParseQuery(ex->rewritten_sparql).ok());
+}
+
+TEST_F(SparqlMlAnalysisTest, ExplainOnPlainSparql) {
+  auto ex = kg_.service().Explain(
+      std::string(kPrefixes) + "SELECT ?t WHERE { ?p dblp:title ?t . }");
+  ASSERT_TRUE(ex.ok());
+  EXPECT_FALSE(ex->is_sparql_ml);
+}
+
+TEST_F(SparqlMlAnalysisTest, EntitySimilarityEndToEnd) {
+  // Train an ES model through TrainGML and query it through SPARQL-ML.
+  auto train = kg_.Execute(std::string(kPrefixes) +
+                           "INSERT INTO <kgnet> { ?s ?p ?o } WHERE { "
+                           "SELECT * FROM kgnet.TrainGML(\n"
+                           "{Name: 'person-similarity',\n"
+                           " GML-Task: {TaskType: kgnet:SimilarEntities,\n"
+                           "  SourceNode: dblp:Person,\n"
+                           "  DestinationNode: dblp:Affiliation,\n"
+                           "  TaskPredicate: dblp:primaryAffiliation},\n"
+                           " Hyperparameters: {Epochs: 8, EmbedDim: 8}})}");
+  ASSERT_TRUE(train.ok()) << train.status();
+  auto info = kg_.service().kgmeta().Get(train->rows[0][0].lexical);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->task, gml::TaskType::kEntitySimilarity);
+
+  auto r = kg_.Execute(std::string(kPrefixes) +
+                       "SELECT ?author ?similar WHERE {\n"
+                       " ?author a dblp:Person .\n"
+                       " ?author ?es ?similar .\n"
+                       " ?es a kgnet:SimilarEntities .\n"
+                       " ?es kgnet:TargetNode dblp:Person . } LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumRows(), 10u);
+  for (const auto& row : r->rows) {
+    EXPECT_TRUE(row[1].is_iri());
+    EXPECT_NE(row[0].lexical, row[1].lexical);  // self excluded
+  }
+}
+
+TEST_F(SparqlMlAnalysisTest, TwoUdpsInOneQuery) {
+  // Train both an NC and an LP model, then use two user-defined
+  // predicates in a single query.
+  TrainTaskSpec nc;
+  nc.task = gml::TaskType::kNodeClassification;
+  nc.target_type_iri = DblpSchema::Publication();
+  nc.label_predicate_iri = DblpSchema::PublishedIn();
+  nc.config.epochs = 2;
+  nc.config.hidden_dim = 8;
+  nc.config.embed_dim = 8;
+  nc.model_name = "nc";
+  ASSERT_TRUE(kg_.TrainTask(nc).ok());
+
+  TrainTaskSpec lp;
+  lp.task = gml::TaskType::kLinkPrediction;
+  lp.target_type_iri = DblpSchema::Person();
+  lp.destination_type_iri = DblpSchema::Affiliation();
+  lp.task_predicate_iri = DblpSchema::PrimaryAffiliation();
+  lp.config.epochs = 2;
+  lp.config.embed_dim = 8;
+  lp.model_name = "lp";
+  ASSERT_TRUE(kg_.TrainTask(lp).ok());
+
+  ExecutionStats stats;
+  auto r = kg_.Execute(
+      std::string(kPrefixes) +
+          "SELECT ?paper ?venue ?author ?aff WHERE {\n"
+          " ?paper a dblp:Publication .\n"
+          " ?paper dblp:authoredBy ?author .\n"
+          " ?paper ?clf ?venue .\n"
+          " ?clf a kgnet:NodeClassifier .\n"
+          " ?clf kgnet:TargetNode dblp:Publication .\n"
+          " ?author ?lp ?aff .\n"
+          " ?lp a kgnet:LinkPredictor .\n"
+          " ?lp kgnet:SourceNode dblp:Person . } LIMIT 5",
+      &stats);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->NumRows(), 5u);
+  EXPECT_EQ(r->columns.size(), 4u);
+  for (const auto& row : r->rows) {
+    EXPECT_NE(row[1].lexical.find("venue"), std::string::npos);
+    EXPECT_NE(row[3].lexical.find("affiliation"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace kgnet::core

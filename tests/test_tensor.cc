@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/csr_matrix.h"
+#include "tensor/matrix.h"
+#include "tensor/memory_meter.h"
+#include "tensor/optimizer.h"
+#include "tensor/rng.h"
+
+namespace kgnet::tensor {
+namespace {
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = Matrix::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedProductsMatchExplicitTranspose) {
+  Rng rng(3);
+  Matrix a(4, 5), b(4, 6);
+  a.XavierInit(&rng);
+  b.XavierInit(&rng);
+  // AᵀB via MatMulTransA vs building Aᵀ explicitly.
+  Matrix at(5, 4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 5; ++j) at.At(j, i) = a.At(i, j);
+  Matrix want = Matrix::MatMul(at, b);
+  Matrix got = Matrix::MatMulTransA(a, b);
+  for (size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5);
+
+  Matrix c(6, 5);
+  c.XavierInit(&rng);
+  // A·Cᵀ (4x5 · 5x6) via MatMulTransB.
+  Matrix ct(5, 6);
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 5; ++j) ct.At(j, i) = c.At(i, j);
+  Matrix want2 = Matrix::MatMul(a, ct);
+  Matrix got2 = Matrix::MatMulTransB(a, c);
+  for (size_t i = 0; i < want2.size(); ++i)
+    EXPECT_NEAR(got2.data()[i], want2.data()[i], 1e-5);
+}
+
+TEST(MatrixTest, ReluMaskMatchesActivation) {
+  Matrix m(1, 4);
+  float v[] = {-1, 0, 2, -3};
+  std::copy(v, v + 4, m.data());
+  Matrix mask;
+  m.ReluInPlace(&mask);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0);
+  EXPECT_FLOAT_EQ(m.At(0, 2), 2);
+  EXPECT_FLOAT_EQ(mask.At(0, 0), 0);
+  EXPECT_FLOAT_EQ(mask.At(0, 2), 1);
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Matrix m(3, 7);
+  m.UniformInit(&rng, -10, 10);
+  m.SoftmaxRowsInPlace();
+  for (size_t r = 0; r < 3; ++r) {
+    float sum = 0;
+    for (size_t c = 0; c < 7; ++c) {
+      sum += m.At(r, c);
+      EXPECT_GE(m.At(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(MatrixTest, GatherScatterRoundTrip) {
+  Matrix m(5, 2);
+  for (size_t i = 0; i < 5; ++i) {
+    m.At(i, 0) = static_cast<float>(i);
+    m.At(i, 1) = static_cast<float>(10 * i);
+  }
+  Matrix g = m.GatherRows({4, 1});
+  EXPECT_FLOAT_EQ(g.At(0, 0), 4);
+  EXPECT_FLOAT_EQ(g.At(1, 1), 10);
+  Matrix zero(5, 2);
+  zero.ScatterAddRows({4, 1}, g);
+  EXPECT_FLOAT_EQ(zero.At(4, 0), 4);
+  EXPECT_FLOAT_EQ(zero.At(1, 1), 10);
+  EXPECT_FLOAT_EQ(zero.At(0, 0), 0);
+}
+
+TEST(MatrixTest, XavierInitBounded) {
+  Rng rng(7);
+  Matrix m(64, 64);
+  m.XavierInit(&rng);
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), bound + 1e-6);
+  }
+  // Not all zeros.
+  EXPECT_GT(m.FrobeniusNorm(), 0.1f);
+}
+
+TEST(CsrTest, BuildsFromCooWithDuplicateSummation) {
+  CsrMatrix m(3, 3, {{0, 1, 1.0f}, {0, 1, 2.0f}, {2, 0, 5.0f}});
+  EXPECT_EQ(m.nnz(), 2u);
+  Matrix x(3, 1);
+  x.At(0, 0) = 1;
+  x.At(1, 0) = 10;
+  x.At(2, 0) = 100;
+  Matrix y = m.SpMM(x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 30.0f);  // (1+2) * 10
+  EXPECT_FLOAT_EQ(y.At(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.At(2, 0), 5.0f);
+}
+
+TEST(CsrTest, SpMMTransposedMatchesDenseTranspose) {
+  Rng rng(11);
+  std::vector<CooEntry> entries;
+  for (int i = 0; i < 30; ++i)
+    entries.push_back({static_cast<uint32_t>(rng.NextUint(6)),
+                       static_cast<uint32_t>(rng.NextUint(4)),
+                       rng.NextFloat()});
+  CsrMatrix m(6, 4, entries);
+  Matrix x(6, 3);
+  x.XavierInit(&rng);
+  Matrix got = m.SpMMTransposed(x);
+  // Dense oracle.
+  Matrix dense(6, 4);
+  for (size_t r = 0; r < 6; ++r)
+    for (uint64_t e = m.row_ptr()[r]; e < m.row_ptr()[r + 1]; ++e)
+      dense.At(r, m.col_idx()[e]) += m.values()[e];
+  Matrix want = Matrix::MatMulTransA(dense, x);
+  ASSERT_EQ(got.rows(), want.rows());
+  for (size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-5);
+}
+
+TEST(CsrTest, RowNormalizedRowsSumToOne) {
+  CsrMatrix m(3, 3, {{0, 0, 2.0f}, {0, 1, 2.0f}, {1, 2, 5.0f}});
+  CsrMatrix n = m.RowNormalized();
+  std::vector<float> sums = n.RowSums();
+  EXPECT_NEAR(sums[0], 1.0f, 1e-6);
+  EXPECT_NEAR(sums[1], 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(sums[2], 0.0f);  // empty row stays empty
+}
+
+TEST(CsrTest, SymNormalizedMatchesFormula) {
+  // Single edge (0 -> 1) with self patterns absent: value / sqrt(d0*d1).
+  CsrMatrix m(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}, {1, 1, 1.0f}});
+  CsrMatrix n = m.SymNormalized();
+  // Row sums of original: d0=1, d1=2. Col sums: c0=1, c1=2.
+  // entry (0,1) = 1/sqrt(1*2)
+  Matrix x(2, 1);
+  x.At(0, 0) = 0;
+  x.At(1, 0) = 1;
+  Matrix y = n.SpMM(x);
+  EXPECT_NEAR(y.At(0, 0), 1.0f / std::sqrt(2.0f), 1e-5);
+}
+
+TEST(MemoryMeterTest, TracksPeakAcrossMatrixLifetimes) {
+  MemoryMeter::Instance().Reset();
+  PeakMemoryScope scope;
+  {
+    Matrix a(100, 100);  // 40 KB
+    EXPECT_GE(MemoryMeter::Instance().Current(), 40000u);
+    {
+      Matrix b(200, 100);  // +80 KB
+      (void)b;
+      EXPECT_GE(scope.PeakBytes(), 120000u);
+    }
+  }
+  // Peak persists after frees.
+  EXPECT_GE(scope.PeakBytes(), 120000u);
+}
+
+TEST(MemoryMeterTest, MoveDoesNotDoubleCount) {
+  MemoryMeter::Instance().Reset();
+  const size_t before = MemoryMeter::Instance().Current();
+  {
+    Matrix a(100, 100);
+    Matrix b = std::move(a);
+    Matrix c(10, 10);
+    c = std::move(b);
+    EXPECT_EQ(MemoryMeter::Instance().Current(), before + 40000u);
+  }
+  EXPECT_EQ(MemoryMeter::Instance().Current(), before);
+}
+
+TEST(MemoryMeterTest, CsrAccountingBalances) {
+  MemoryMeter::Instance().Reset();
+  const size_t before = MemoryMeter::Instance().Current();
+  {
+    CsrMatrix m(10, 10, {{0, 1, 1.0f}, {2, 3, 1.0f}});
+    CsrMatrix copy = m;
+    CsrMatrix moved = std::move(copy);
+    m = moved;  // copy-assign
+  }
+  EXPECT_EQ(MemoryMeter::Instance().Current(), before);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||W - target||^2.
+  Rng rng(1);
+  Matrix w(4, 4);
+  w.XavierInit(&rng);
+  Matrix target(4, 4);
+  target.UniformInit(&rng, -1, 1);
+  AdamOptimizer::Options opts;
+  opts.lr = 0.05f;
+  AdamOptimizer opt(opts);
+  opt.Register(&w);
+  for (int step = 0; step < 400; ++step) {
+    Matrix grad = w;
+    grad.Sub(target);
+    grad.Scale(2.0f);
+    opt.Step({&grad});
+  }
+  Matrix diff = w;
+  diff.Sub(target);
+  EXPECT_LT(diff.FrobeniusNorm(), 1e-2);
+}
+
+TEST(SgdTest, MomentumDescendsQuadratic) {
+  Matrix w(2, 2, 5.0f);
+  SgdOptimizer opt(0.1f, 0.9f);
+  opt.Register(&w);
+  for (int step = 0; step < 250; ++step) {
+    Matrix grad = w;
+    grad.Scale(2.0f);
+    opt.Step({&grad});
+  }
+  EXPECT_LT(w.FrobeniusNorm(), 1e-2);
+}
+
+TEST(LossTest, SoftmaxCrossEntropyGradientFiniteDifference) {
+  Rng rng(17);
+  Matrix logits(3, 4);
+  logits.UniformInit(&rng, -2, 2);
+  std::vector<int> labels = {2, 0, kIgnoreLabel};
+
+  Matrix grad;
+  const float base = SoftmaxCrossEntropy(logits, labels, &grad);
+  (void)base;
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    Matrix plus = logits, minus = logits;
+    plus.data()[i] += eps;
+    minus.data()[i] -= eps;
+    Matrix g_unused;
+    const float lp = SoftmaxCrossEntropy(plus, labels, &g_unused);
+    const float lm = SoftmaxCrossEntropy(minus, labels, &g_unused);
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad.data()[i], numeric, 5e-3)
+        << "logit index " << i;
+  }
+}
+
+TEST(LossTest, IgnoredRowsGetZeroGradient) {
+  Matrix logits(2, 3, 1.0f);
+  std::vector<int> labels = {kIgnoreLabel, 1};
+  Matrix grad;
+  SoftmaxCrossEntropy(logits, labels, &grad);
+  for (size_t c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(grad.At(0, c), 0.0f);
+}
+
+TEST(LossTest, LogisticLossGradientFiniteDifference) {
+  std::vector<float> scores = {0.5f, -1.2f, 3.0f};
+  std::vector<float> targets = {1.0f, -1.0f, 1.0f};
+  std::vector<float> grad;
+  LogisticLoss(scores, targets, &grad);
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    auto sp = scores, sm = scores;
+    sp[i] += eps;
+    sm[i] -= eps;
+    std::vector<float> unused;
+    const float lp = LogisticLoss(sp, targets, &unused);
+    const float lm = LogisticLoss(sm, targets, &unused);
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint(1000), b.NextUint(1000));
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.NextUniform(-0.5f, 0.5f);
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+  }
+}
+
+}  // namespace
+}  // namespace kgnet::tensor

@@ -1,0 +1,207 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/term.h"
+#include "tensor/rng.h"
+
+namespace kgnet::rdf {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.InternIri("http://x/a");
+  TermId b = dict.InternIri("http://x/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.InternIri("http://x/a"), a);
+  EXPECT_EQ(dict.num_terms(), 2u);
+  EXPECT_EQ(dict.Lookup(a).lexical, "http://x/a");
+}
+
+TEST(DictionaryTest, DistinguishesTermKinds) {
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri("x"));
+  TermId lit = dict.Intern(Term::Literal("x"));
+  TermId blank = dict.Intern(Term::Blank("x"));
+  EXPECT_NE(iri, lit);
+  EXPECT_NE(lit, blank);
+  EXPECT_NE(iri, blank);
+}
+
+TEST(DictionaryTest, DistinguishesDatatypeAndLang) {
+  Dictionary dict;
+  TermId plain = dict.Intern(Term::Literal("5"));
+  TermId typed = dict.Intern(Term::IntLiteral(5));
+  Term lang = Term::Literal("5");
+  lang.lang = "en";
+  TermId tagged = dict.Intern(lang);
+  EXPECT_NE(plain, typed);
+  EXPECT_NE(plain, tagged);
+  EXPECT_NE(typed, tagged);
+}
+
+TEST(DictionaryTest, FindDoesNotIntern) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Iri("nope")), kNullTermId);
+  EXPECT_EQ(dict.num_terms(), 0u);
+}
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TripleStore store_;
+  TermId Add(const std::string& s, const std::string& p,
+             const std::string& o) {
+    store_.InsertIris(s, p, o);
+    return store_.dict().FindIri(s);
+  }
+};
+
+TEST_F(TripleStoreTest, InsertAndContains) {
+  EXPECT_TRUE(store_.InsertIris("s", "p", "o"));
+  EXPECT_FALSE(store_.InsertIris("s", "p", "o"));  // duplicate
+  EXPECT_EQ(store_.size(), 1u);
+  Triple t(store_.dict().FindIri("s"), store_.dict().FindIri("p"),
+           store_.dict().FindIri("o"));
+  EXPECT_TRUE(store_.Contains(t));
+}
+
+TEST_F(TripleStoreTest, MatchByEveryBoundCombination) {
+  Add("a", "p", "x");
+  Add("a", "p", "y");
+  Add("a", "q", "x");
+  Add("b", "p", "x");
+  const Dictionary& d = store_.dict();
+  TermId a = d.FindIri("a"), p = d.FindIri("p"), x = d.FindIri("x");
+
+  EXPECT_EQ(store_.Match(TriplePattern()).size(), 4u);
+  EXPECT_EQ(store_.Match(TriplePattern(a, 0, 0)).size(), 3u);
+  EXPECT_EQ(store_.Match(TriplePattern(0, p, 0)).size(), 3u);
+  EXPECT_EQ(store_.Match(TriplePattern(0, 0, x)).size(), 3u);
+  EXPECT_EQ(store_.Match(TriplePattern(a, p, 0)).size(), 2u);
+  EXPECT_EQ(store_.Match(TriplePattern(0, p, x)).size(), 2u);
+  EXPECT_EQ(store_.Match(TriplePattern(a, 0, x)).size(), 2u);
+  EXPECT_EQ(store_.Match(TriplePattern(a, p, x)).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, EraseRemovesFromAllIndexes) {
+  Add("a", "p", "x");
+  Add("a", "p", "y");
+  const Dictionary& d = store_.dict();
+  Triple t(d.FindIri("a"), d.FindIri("p"), d.FindIri("x"));
+  EXPECT_TRUE(store_.Erase(t));
+  EXPECT_FALSE(store_.Erase(t));
+  EXPECT_EQ(store_.size(), 1u);
+  EXPECT_TRUE(store_.Match(TriplePattern(0, 0, d.FindIri("x"))).empty());
+  EXPECT_EQ(store_.Match(TriplePattern(d.FindIri("a"), 0, 0)).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, EraseMatchingPattern) {
+  Add("a", "p", "x");
+  Add("a", "p", "y");
+  Add("b", "q", "z");
+  TermId a = store_.dict().FindIri("a");
+  EXPECT_EQ(store_.EraseMatching(TriplePattern(a, 0, 0)), 2u);
+  EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, CountsAndDistincts) {
+  Add("a", "p", "x");
+  Add("a", "q", "x");
+  Add("b", "p", "y");
+  EXPECT_EQ(store_.NumDistinctSubjects(), 2u);
+  EXPECT_EQ(store_.NumDistinctPredicates(), 2u);
+  EXPECT_EQ(store_.NumDistinctObjects(), 2u);
+}
+
+TEST_F(TripleStoreTest, CardinalityEstimateIsExactForIndexPrefixes) {
+  for (int i = 0; i < 50; ++i)
+    Add("s" + std::to_string(i % 7), "p" + std::to_string(i % 3),
+        "o" + std::to_string(i));
+  const Dictionary& d = store_.dict();
+  TermId s0 = d.FindIri("s0"), p1 = d.FindIri("p1");
+  EXPECT_EQ(store_.EstimateCardinality(TriplePattern(s0, 0, 0)),
+            store_.Count(TriplePattern(s0, 0, 0)));
+  EXPECT_EQ(store_.EstimateCardinality(TriplePattern(0, p1, 0)),
+            store_.Count(TriplePattern(0, p1, 0)));
+  EXPECT_EQ(store_.EstimateCardinality(TriplePattern(s0, p1, 0)),
+            store_.Count(TriplePattern(s0, p1, 0)));
+  EXPECT_EQ(store_.EstimateCardinality(TriplePattern()), store_.size());
+}
+
+TEST_F(TripleStoreTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) Add("s", "p", "o" + std::to_string(i));
+  size_t seen = 0;
+  store_.Scan(TriplePattern(), [&](const Triple&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST_F(TripleStoreTest, InterleavedInsertEraseScan) {
+  Add("a", "p", "x");
+  store_.FlushInserts();
+  Add("b", "p", "y");  // pending
+  // Scan must see both (auto-flush).
+  EXPECT_EQ(store_.Match(TriplePattern()).size(), 2u);
+  Add("c", "p", "z");
+  const Dictionary& d = store_.dict();
+  store_.Erase(Triple(d.FindIri("a"), d.FindIri("p"), d.FindIri("x")));
+  EXPECT_EQ(store_.Match(TriplePattern()).size(), 2u);
+}
+
+/// Property test: Match() agrees with a naive scan-and-filter oracle on a
+/// randomized store, across all 8 bound/unbound pattern shapes.
+class TripleStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TripleStorePropertyTest, MatchAgreesWithNaiveOracle) {
+  tensor::Rng rng(GetParam());
+  TripleStore store;
+  std::vector<Triple> inserted;
+  for (int i = 0; i < 300; ++i) {
+    std::string s = "s" + std::to_string(rng.NextUint(20));
+    std::string p = "p" + std::to_string(rng.NextUint(5));
+    std::string o = "o" + std::to_string(rng.NextUint(30));
+    store.InsertIris(s, p, o);
+  }
+  store.Scan(TriplePattern(), [&](const Triple& t) {
+    inserted.push_back(t);
+    return true;
+  });
+  // Randomly delete a tenth.
+  for (size_t i = 0; i < inserted.size() / 10; ++i)
+    store.Erase(inserted[rng.NextUint(inserted.size())]);
+
+  std::vector<Triple> all = store.Match(TriplePattern());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Triple& probe = all[rng.NextUint(all.size())];
+    TriplePattern pat;
+    if (rng.NextFloat() < 0.5f) pat.s = probe.s;
+    if (rng.NextFloat() < 0.5f) pat.p = probe.p;
+    if (rng.NextFloat() < 0.5f) pat.o = probe.o;
+
+    std::vector<Triple> got = store.Match(pat);
+    std::vector<Triple> want;
+    for (const Triple& t : all)
+      if (pat.Matches(t)) want.push_back(t);
+    auto key = [](const Triple& t) {
+      return std::tuple(t.s, t.p, t.o);
+    };
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+      ASSERT_EQ(key(got[i]), key(want[i]));
+    // Cardinality estimate never undercounts the true match size for
+    // index-prefix patterns.
+    EXPECT_GE(store.EstimateCardinality(pat) + 1, want.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace kgnet::rdf

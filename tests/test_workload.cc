@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "rdf/graph_stats.h"
+#include "workload/dblp_gen.h"
+#include "workload/yago_gen.h"
+
+namespace kgnet::workload {
+namespace {
+
+TEST(DblpGenTest, ProducesExpectedShape) {
+  rdf::TripleStore store;
+  DblpOptions opts;
+  opts.num_papers = 500;
+  opts.num_authors = 200;
+  opts.num_venues = 10;
+  opts.num_affiliations = 30;
+  ASSERT_TRUE(GenerateDblp(opts, &store).ok());
+  rdf::GraphStats stats = rdf::ComputeGraphStats(store);
+  EXPECT_GT(stats.num_triples, 2000u);
+  EXPECT_GT(stats.num_node_types, 6u);   // Publication, Person, Venue, ...
+  EXPECT_GT(stats.num_edge_types, 10u);
+  EXPECT_EQ(stats.class_counts["https://dblp.org/rdf/Publication"], 500u);
+  EXPECT_EQ(stats.class_counts["https://dblp.org/rdf/Person"], 200u);
+  EXPECT_EQ(stats.class_counts["https://dblp.org/rdf/Venue"], 10u);
+  // Exactly one venue label per paper, one affiliation per author.
+  EXPECT_EQ(stats.predicate_counts["https://dblp.org/rdf/publishedIn"],
+            500u);
+  EXPECT_EQ(
+      stats.predicate_counts["https://dblp.org/rdf/primaryAffiliation"],
+      200u);
+  EXPECT_GT(stats.num_literal_triples, 500u);
+}
+
+TEST(DblpGenTest, DeterministicForSeed) {
+  rdf::TripleStore a, b;
+  DblpOptions opts;
+  opts.num_papers = 100;
+  opts.num_authors = 50;
+  opts.num_venues = 5;
+  opts.num_affiliations = 10;
+  ASSERT_TRUE(GenerateDblp(opts, &a).ok());
+  ASSERT_TRUE(GenerateDblp(opts, &b).ok());
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(DblpGenTest, PeripheryTogglesSize) {
+  rdf::TripleStore with, without;
+  DblpOptions opts;
+  opts.num_papers = 200;
+  opts.num_authors = 80;
+  opts.num_venues = 5;
+  opts.num_affiliations = 10;
+  opts.include_periphery = true;
+  ASSERT_TRUE(GenerateDblp(opts, &with).ok());
+  opts.include_periphery = false;
+  ASSERT_TRUE(GenerateDblp(opts, &without).ok());
+  EXPECT_GT(with.size(), without.size() + 100);
+}
+
+TEST(DblpGenTest, RejectsZeroSizes) {
+  rdf::TripleStore store;
+  DblpOptions opts;
+  opts.num_venues = 0;
+  EXPECT_FALSE(GenerateDblp(opts, &store).ok());
+}
+
+TEST(YagoGenTest, ProducesExpectedShape) {
+  rdf::TripleStore store;
+  YagoOptions opts;
+  opts.num_places = 400;
+  opts.num_countries = 8;
+  opts.num_people = 200;
+  opts.num_orgs = 50;
+  ASSERT_TRUE(GenerateYago(opts, &store).ok());
+  rdf::GraphStats stats = rdf::ComputeGraphStats(store);
+  EXPECT_EQ(
+      stats.class_counts["http://yago-knowledge.org/resource/Place"], 400u);
+  EXPECT_EQ(
+      stats.class_counts["http://yago-knowledge.org/resource/Country"], 8u);
+  EXPECT_EQ(stats.predicate_counts
+                ["http://yago-knowledge.org/resource/inCountry"],
+            400u);
+  EXPECT_GT(stats.num_node_types, 5u);
+}
+
+TEST(YagoGenTest, PlantedSignalIsConsistent) {
+  // Places laid out round-robin: place p belongs to country p % C; its
+  // same-country neighbours must share that residue.
+  rdf::TripleStore store;
+  YagoOptions opts;
+  opts.num_places = 200;
+  opts.num_countries = 4;
+  opts.num_people = 0;
+  opts.num_orgs = 0;
+  opts.noise = 0.0;
+  opts.include_periphery = false;
+  ASSERT_TRUE(GenerateYago(opts, &store).ok());
+  const auto& dict = store.dict();
+  rdf::TermId nb = dict.FindIri(YagoSchema::NeighborOf());
+  ASSERT_NE(nb, rdf::kNullTermId);
+  store.Scan(rdf::TriplePattern(rdf::kNullTermId, nb, rdf::kNullTermId),
+             [&](const rdf::Triple& t) {
+               const std::string& s = dict.Lookup(t.s).lexical;
+               const std::string& o = dict.Lookup(t.o).lexical;
+               const int si = std::stoi(s.substr(s.rfind('_') + 1));
+               const int oi = std::stoi(o.substr(o.rfind('_') + 1));
+               EXPECT_EQ(si % 4, oi % 4) << s << " -> " << o;
+               return true;
+             });
+}
+
+TEST(YagoGenTest, RejectsZeroSizes) {
+  rdf::TripleStore store;
+  YagoOptions opts;
+  opts.num_countries = 0;
+  EXPECT_FALSE(GenerateYago(opts, &store).ok());
+}
+
+}  // namespace
+}  // namespace kgnet::workload
