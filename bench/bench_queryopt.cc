@@ -1,14 +1,24 @@
-// Regenerates the Figure 11 vs Figure 12 comparison: SPARQL-ML execution
-// plans. The per-instance plan issues one inference call per bound
-// instance; the dictionary plan issues a single call that materializes all
-// predictions and answers per-row lookups locally. The optimizer must pick
-// the dictionary plan once the instance count outgrows the break-even
-// point.
+// Part 1 regenerates the Figure 11 vs Figure 12 comparison: SPARQL-ML
+// execution plans. The per-instance plan issues one inference call per
+// bound instance; the dictionary plan issues a single call that
+// materializes all predictions and answers per-row lookups locally. The
+// optimizer must pick the dictionary plan once the instance count
+// outgrows the break-even point.
+//
+// Part 2 compares the plain-SPARQL hot path per BGP shape: the streaming
+// executor (merge/hash/bind joins over sorted index cursors) against the
+// legacy materializing nested-loop evaluator, and writes the timings to
+// BENCH_queryopt.json in the working directory.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/kgnet.h"
+#include "sparql/engine.h"
+#include "sparql/parser.h"
 #include "workload/dblp_gen.h"
 
 namespace {
@@ -22,6 +32,148 @@ const char* kQuery =
     "  ?paper ?clf ?venue .\n"
     "  ?clf a kgnet:NodeClassifier .\n"
     "  ?clf kgnet:TargetNode dblp:Publication . }";
+
+double MedianMs(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  return (*samples)[samples->size() / 2];
+}
+
+/// Executes `query` `reps` times in `mode`; returns (median ms, rows).
+std::pair<double, size_t> TimeQuery(kgnet::sparql::QueryEngine* engine,
+                                    const kgnet::sparql::Query& query,
+                                    kgnet::sparql::ExecMode mode, int reps) {
+  engine->set_exec_mode(mode);
+  size_t rows = 0;
+  std::vector<double> ms;
+  for (int i = 0; i <= reps; ++i) {  // one warmup + reps timed
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = engine->Execute(query);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "executor bench query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    rows = r->NumRows();
+    if (i > 0)
+      ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return {MedianMs(&ms), rows};
+}
+
+struct ShapeResult {
+  std::string name;
+  double old_ms = 0;
+  double new_ms = 0;
+  size_t rows = 0;
+  double speedup() const { return new_ms > 0 ? old_ms / new_ms : 0; }
+};
+
+/// Part 2: per-shape old-vs-new executor timings on a plain DBLP KG.
+int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
+  using namespace kgnet;
+  namespace ws = workload;
+
+  rdf::TripleStore store;
+  ws::DblpOptions opts;
+  opts.num_papers = 4000;
+  opts.num_authors = 1600;
+  opts.num_venues = 8;
+  opts.num_affiliations = 40;
+  opts.include_periphery = false;
+  opts.include_literals = false;
+  if (!ws::GenerateDblp(opts, &store).ok()) return 1;
+  sparql::QueryEngine engine(&store);
+
+  const std::string px = "PREFIX dblp: <https://dblp.org/rdf/>\n";
+  struct ShapeSpec {
+    const char* name;
+    std::string query;
+  };
+  const ShapeSpec specs[] = {
+      {"star2",
+       px + "SELECT ?p ?v WHERE { ?p a dblp:Publication . "
+            "?p dblp:publishedIn ?v . }"},
+      {"star3",
+       px + "SELECT ?p ?v ?a WHERE { ?p a dblp:Publication . "
+            "?p dblp:publishedIn ?v . ?p dblp:authoredBy ?a . }"},
+      {"chain2",
+       px + "SELECT ?p ?f WHERE { ?p dblp:authoredBy ?a . "
+            "?a dblp:primaryAffiliation ?f . }"},
+      {"selective",
+       px + "SELECT ?a ?f WHERE { <https://dblp.org/rdf/publication/17> "
+            "dblp:authoredBy ?a . ?a dblp:primaryAffiliation ?f . }"},
+      {"star3_limit10",
+       px + "SELECT ?p ?v ?a WHERE { ?p a dblp:Publication . "
+            "?p dblp:publishedIn ?v . ?p dblp:authoredBy ?a . } LIMIT 10"},
+  };
+
+  std::printf("\nSTREAMING EXECUTOR vs LEGACY (plain SPARQL, %zu triples)\n\n",
+              store.size());
+  std::printf("%-15s %12s %12s %10s %10s\n", "shape", "legacy (ms)",
+              "stream (ms)", "speedup", "rows");
+
+  std::vector<ShapeResult> results;
+  for (const ShapeSpec& spec : specs) {
+    auto parsed = sparql::ParseQuery(spec.query);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    auto [old_ms, old_rows] =
+        TimeQuery(&engine, *parsed, sparql::ExecMode::kMaterialized, 5);
+    auto [new_ms, new_rows] =
+        TimeQuery(&engine, *parsed, sparql::ExecMode::kStreaming, 5);
+    ShapeResult r;
+    r.name = spec.name;
+    r.old_ms = old_ms;
+    r.new_ms = new_ms;
+    r.rows = new_rows;
+    std::printf("%-15s %12.3f %12.3f %9.2fx %10zu\n", r.name.c_str(),
+                r.old_ms, r.new_ms, r.speedup(), r.rows);
+    shape->Check(old_rows == new_rows,
+                 std::string(spec.name) + ": row counts agree (" +
+                     std::to_string(old_rows) + " vs " +
+                     std::to_string(new_rows) + ")");
+    results.push_back(std::move(r));
+  }
+
+  double best = 0;
+  bool no_regression = true;
+  for (const ShapeResult& r : results) {
+    best = std::max(best, r.speedup());
+    // 10% relative + 0.05 ms absolute slack against timer jitter.
+    if (r.new_ms > r.old_ms * 1.10 + 0.05) no_regression = false;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", best);
+  shape->Check(best >= 2.0, std::string("streaming executor >= 2x on at "
+                                        "least one shape (best ") +
+                                buf + "x)");
+  shape->Check(no_regression,
+               "no shape regresses more than 10% vs the legacy executor");
+
+  // Machine-readable output for tracking across revisions.
+  FILE* json = std::fopen("BENCH_queryopt.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"triples\": %zu,\n  \"shapes\": [\n",
+                 store.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ShapeResult& r = results[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"rows\": %zu, "
+                   "\"legacy_ms\": %.4f, \"streaming_ms\": %.4f, "
+                   "\"speedup\": %.3f}%s\n",
+                   r.name.c_str(), r.rows, r.old_ms, r.new_ms, r.speedup(),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_queryopt.json\n");
+  }
+  return 0;
+}
 }  // namespace
 
 int main() {
@@ -97,5 +249,7 @@ int main() {
                   "optimizer picks the dictionary plan at |papers|=" +
                       std::to_string(papers));
   }
+
+  if (RunExecutorBench(&shape) != 0) return 1;
   return shape.Report() == 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 //   .stats               KG statistics (Table I style)
 //   .models              trained models registered in KGMeta
 //   .explain QUERY       show the optimizer's rewrite without executing
+//   .plan QUERY          show the streaming executor's physical plan
 //   .quit                exit
 //
 // Multi-line queries: end the query with a line containing only ";".
@@ -38,6 +39,7 @@ void PrintHelp() {
       "  .stats           KG statistics\n"
       "  .models          trained models in KGMeta\n"
       "  .explain QUERY   show the SPARQL-ML rewrite without executing\n"
+      "  .plan QUERY      show the streaming executor's physical plan\n"
       "  .quit            exit\n"
       "Anything else is executed as SPARQL / SPARQL-ML. End multi-line\n"
       "queries with a line containing only ';'.\n\n"
@@ -97,6 +99,15 @@ void RunQuery(kgnet::core::KgNet& kg, const std::string& text) {
   } else {
     std::printf("%s\n", result->ask_result ? "yes" : "ok");
   }
+}
+
+void RunPlan(kgnet::core::KgNet& kg, const std::string& text) {
+  auto plan = kg.service().engine().ExplainString(text);
+  if (!plan.ok()) {
+    std::printf("error: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", plan->c_str());
 }
 
 void RunExplain(kgnet::core::KgNet& kg, const std::string& text) {
@@ -177,6 +188,13 @@ int main(int argc, char** argv) {
           std::printf("usage: .explain QUERY (single line)\n");
         } else {
           RunExplain(kg, q);
+        }
+      } else if (line.rfind(".plan", 0) == 0) {
+        std::string q = line.size() > 5 ? line.substr(6) : "";
+        if (q.empty()) {
+          std::printf("usage: .plan QUERY (single line)\n");
+        } else {
+          RunPlan(kg, q);
         }
       } else {
         std::printf("unknown command; .help for help\n");

@@ -30,6 +30,30 @@ struct KeyLess {
 
 }  // namespace
 
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return "spo";
+    case IndexOrder::kPos:
+      return "pos";
+    case IndexOrder::kOsp:
+      return "osp";
+  }
+  return "?";
+}
+
+std::array<int, 3> IndexOrderPositions(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return {0, 1, 2};
+    case IndexOrder::kPos:
+      return {1, 2, 0};
+    case IndexOrder::kOsp:
+      return {2, 0, 1};
+  }
+  return {0, 1, 2};
+}
+
 TripleStore::TripleStore() {
   spo_.order = IndexOrder::kSpo;
   pos_.order = IndexOrder::kPos;
@@ -151,23 +175,61 @@ void TripleStore::ScanIndex(const Index& idx, const TriplePattern& pattern,
   }
 }
 
-void TripleStore::Scan(const TriplePattern& pattern,
-                       const std::function<bool(const Triple&)>& fn) const {
-  FlushInserts();
+IndexOrder TripleStore::ChooseIndex(const TriplePattern& pattern) {
   // Pick the index whose permuted key has the longest bound prefix.
   const bool s = pattern.s != kNullTermId;
   const bool p = pattern.p != kNullTermId;
   const bool o = pattern.o != kNullTermId;
-  const Index* idx = &spo_;
   if (s) {
-    idx = &spo_;  // (s,?,?), (s,p,?), (s,p,o) -> SPO; (s,?,o) -> OSP
-    if (o && !p) idx = &osp_;
-  } else if (p) {
-    idx = &pos_;  // (?,p,?), (?,p,o)
-  } else if (o) {
-    idx = &osp_;  // (?,?,o)
+    // (s,?,?), (s,p,?), (s,p,o) -> SPO; (s,?,o) -> OSP
+    return (o && !p) ? IndexOrder::kOsp : IndexOrder::kSpo;
   }
-  ScanIndex(*idx, pattern, fn);
+  if (p) return IndexOrder::kPos;  // (?,p,?), (?,p,o)
+  if (o) return IndexOrder::kOsp;  // (?,?,o)
+  return IndexOrder::kSpo;
+}
+
+const TripleStore::Index& TripleStore::IndexFor(IndexOrder order) const {
+  switch (order) {
+    case IndexOrder::kSpo:
+      return spo_;
+    case IndexOrder::kPos:
+      return pos_;
+    case IndexOrder::kOsp:
+      return osp_;
+  }
+  return spo_;
+}
+
+void TripleStore::Scan(const TriplePattern& pattern,
+                       const std::function<bool(const Triple&)>& fn) const {
+  FlushInserts();
+  ScanIndex(IndexFor(ChooseIndex(pattern)), pattern, fn);
+}
+
+TripleCursor TripleStore::OpenCursor(IndexOrder order,
+                                     const TriplePattern& pattern) const {
+  FlushInserts();
+  const Index& idx = IndexFor(order);
+  std::array<TermId, 3> key =
+      KeyLess::Permute(order, Triple(pattern.s, pattern.p, pattern.o));
+  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
+  TripleCursor c;
+  c.rows_ = &idx.rows;
+  c.pos_ = lo;
+  c.end_ = hi;
+  c.pattern_ = pattern;
+  return c;
+}
+
+size_t TripleStore::EstimateRange(IndexOrder order,
+                                  const TriplePattern& pattern) const {
+  FlushInserts();
+  const Index& idx = IndexFor(order);
+  std::array<TermId, 3> key =
+      KeyLess::Permute(order, Triple(pattern.s, pattern.p, pattern.o));
+  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
+  return hi - lo;
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {

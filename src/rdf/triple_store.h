@@ -17,6 +17,45 @@ namespace kgnet::rdf {
 /// Which of the three collation orders an index stores.
 enum class IndexOrder { kSpo, kPos, kOsp };
 
+/// Lower-case index name ("spo", "pos", "osp") for plan rendering.
+const char* IndexOrderName(IndexOrder order);
+
+/// The triple positions (0 = s, 1 = p, 2 = o) occupying each key slot of
+/// an index order; e.g. kPos -> {1, 2, 0} (keys are p, o, s).
+std::array<int, 3> IndexOrderPositions(IndexOrder order);
+
+/// A streaming cursor over the triples matching a pattern, yielded in the
+/// sorted order of one permutation index (see TripleStore::OpenCursor).
+/// The cursor borrows the store's index storage, so it is valid only while
+/// the store is not mutated (the store is single-writer; see above).
+class TripleCursor {
+ public:
+  TripleCursor() = default;
+
+  /// Advances to the next matching triple. Returns false at end of range.
+  bool Next(Triple* out) {
+    while (pos_ < end_) {
+      const Triple& t = (*rows_)[pos_++];
+      if (pattern_.Matches(t)) {
+        *out = t;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Upper bound on the remaining results (rest of the index range,
+  /// including rows the non-prefix positions will filter out).
+  size_t remaining() const { return end_ - pos_; }
+
+ private:
+  friend class TripleStore;
+  const std::vector<Triple>* rows_ = nullptr;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  TriplePattern pattern_;
+};
+
 /// An in-memory triple store.
 ///
 /// Triples are dictionary-encoded (see Dictionary) and maintained in three
@@ -71,6 +110,21 @@ class TripleStore {
   /// (?,p,o), (s,?,?), (?,?,o), (?,p,?) prefixes of an index.
   size_t EstimateCardinality(const TriplePattern& pattern) const;
 
+  /// Opens a streaming cursor over `pattern` on the index with collation
+  /// `order`. Rows arrive in that index's sort order: after the bound key
+  /// prefix (binary-seeked), they are ordered by the first unbound key
+  /// position. Bound positions outside the prefix are filtered row by row.
+  TripleCursor OpenCursor(IndexOrder order, const TriplePattern& pattern) const;
+
+  /// Size of the index range OpenCursor(order, pattern) would walk: an
+  /// O(log n) upper bound on its result count, exact when every bound
+  /// position lies in the seekable prefix. The streaming planner uses this
+  /// as the scan cost of each candidate index.
+  size_t EstimateRange(IndexOrder order, const TriplePattern& pattern) const;
+
+  /// The index Scan() picks for `pattern` (longest useful bound prefix).
+  static IndexOrder ChooseIndex(const TriplePattern& pattern);
+
   /// Total number of triples.
   size_t size() const;
 
@@ -92,6 +146,8 @@ class TripleStore {
 
   static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t);
   static Triple Unpermute(IndexOrder order, const std::array<TermId, 3>& k);
+
+  const Index& IndexFor(IndexOrder order) const;
 
   // Returns [lo, hi) bounds in `idx` for the bound prefix of `pattern`
   // (after permutation); remaining free positions are filtered by caller.

@@ -1,13 +1,14 @@
 #include "sparql/engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <set>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sparql/exec.h"
 #include "sparql/parser.h"
+#include "sparql/plan.h"
 
 namespace kgnet::sparql {
 
@@ -19,188 +20,13 @@ using rdf::TermId;
 using rdf::Triple;
 using rdf::TriplePattern;
 
-/// Maps variable names to dense slots for the duration of one query.
-class VarTable {
- public:
-  int SlotOf(const std::string& name) {
-    auto it = index_.find(name);
-    if (it != index_.end()) return it->second;
-    int slot = static_cast<int>(names_.size());
-    index_.emplace(name, slot);
-    names_.push_back(name);
-    return slot;
-  }
-  int Find(const std::string& name) const {
-    auto it = index_.find(name);
-    return it == index_.end() ? -1 : it->second;
-  }
-  size_t size() const { return names_.size(); }
-  const std::string& name(int slot) const { return names_[slot]; }
-
- private:
-  std::unordered_map<std::string, int> index_;
-  std::vector<std::string> names_;
-};
-
-using Solution = std::vector<TermId>;  // slot -> term id (0 = unbound)
-
-/// Collects the variables an expression mentions.
-void CollectExprVars(const ExprPtr& e, std::set<std::string>* out) {
-  if (!e) return;
-  if (e->op == ExprOp::kVar) out->insert(e->var);
-  for (const auto& a : e->args) CollectExprVars(a, out);
-}
-
-struct CompiledPattern {
-  int s_slot = -1;  // -1 = constant
-  int p_slot = -1;
-  int o_slot = -1;
-  TermId s_const = kNullTermId;
-  TermId p_const = kNullTermId;
-  TermId o_const = kNullTermId;
-};
-
-/// Execution context for one query.
-struct ExecContext {
-  rdf::TripleStore* store;
-  UdfRegistry* udfs;
-  VarTable vars;
-};
-
-TermId ResolveNode(const NodeRef& n, ExecContext* ctx, int* slot) {
-  if (n.is_var) {
-    *slot = ctx->vars.SlotOf(n.var);
-    return kNullTermId;
-  }
-  *slot = -1;
-  // A constant never present in the dictionary cannot match; we intern it
-  // so updates can still create it, and matching degrades to id-compare.
-  return ctx->store->dict().Intern(n.term);
-}
-
-CompiledPattern CompilePattern(const PatternTriple& pt, ExecContext* ctx) {
-  CompiledPattern cp;
-  cp.s_const = ResolveNode(pt.s, ctx, &cp.s_slot);
-  cp.p_const = ResolveNode(pt.p, ctx, &cp.p_slot);
-  cp.o_const = ResolveNode(pt.o, ctx, &cp.o_slot);
-  return cp;
-}
-
-TriplePattern BindPattern(const CompiledPattern& cp, const Solution& sol) {
-  TriplePattern p;
-  p.s = cp.s_slot >= 0 ? sol[cp.s_slot] : cp.s_const;
-  p.p = cp.p_slot >= 0 ? sol[cp.p_slot] : cp.p_const;
-  p.o = cp.o_slot >= 0 ? sol[cp.o_slot] : cp.o_const;
-  return p;
-}
-
-/// Truthiness of a term under SPARQL effective-boolean-value rules
-/// (simplified).
-bool EffectiveBool(const Term& t) {
-  if (t.is_literal()) {
-    if (t.lexical == "true") return true;
-    if (t.lexical == "false") return false;
-    double d;
-    if (t.AsDouble(&d)) return d != 0.0;
-    return !t.lexical.empty();
-  }
-  return true;  // IRIs / blanks are truthy
-}
-
-Term BoolTerm(bool b) {
-  return Term::TypedLiteral(b ? "true" : "false",
-                            "http://www.w3.org/2001/XMLSchema#boolean");
-}
-
-Result<Term> EvalExpr(const ExprPtr& e, ExecContext* ctx,
-                      const Solution& sol) {
-  switch (e->op) {
-    case ExprOp::kVar: {
-      int slot = ctx->vars.Find(e->var);
-      if (slot < 0 || sol[slot] == kNullTermId)
-        return Status::FailedPrecondition("unbound variable ?" + e->var);
-      return ctx->store->dict().Lookup(sol[slot]);
-    }
-    case ExprOp::kConst:
-      return e->constant;
-    case ExprOp::kNot: {
-      KGNET_ASSIGN_OR_RETURN(Term inner, EvalExpr(e->args[0], ctx, sol));
-      return BoolTerm(!EffectiveBool(inner));
-    }
-    case ExprOp::kAnd:
-    case ExprOp::kOr: {
-      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
-      bool lv = EffectiveBool(l);
-      if (e->op == ExprOp::kAnd && !lv) return BoolTerm(false);
-      if (e->op == ExprOp::kOr && lv) return BoolTerm(true);
-      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
-      return BoolTerm(EffectiveBool(r));
-    }
-    case ExprOp::kEq:
-    case ExprOp::kNe:
-    case ExprOp::kLt:
-    case ExprOp::kLe:
-    case ExprOp::kGt:
-    case ExprOp::kGe: {
-      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
-      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
-      double ld, rd;
-      int cmp;
-      if (l.AsDouble(&ld) && r.AsDouble(&rd)) {
-        cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
-      } else {
-        // Kind-aware lexical comparison.
-        if (l.kind != r.kind && (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
-          return BoolTerm(e->op == ExprOp::kNe);
-        cmp = l.lexical.compare(r.lexical);
-        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-        if (cmp == 0 && (l.datatype != r.datatype || l.lang != r.lang) &&
-            (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
-          cmp = 1;
-      }
-      bool v = false;
-      switch (e->op) {
-        case ExprOp::kEq:
-          v = cmp == 0;
-          break;
-        case ExprOp::kNe:
-          v = cmp != 0;
-          break;
-        case ExprOp::kLt:
-          v = cmp < 0;
-          break;
-        case ExprOp::kLe:
-          v = cmp <= 0;
-          break;
-        case ExprOp::kGt:
-          v = cmp > 0;
-          break;
-        case ExprOp::kGe:
-          v = cmp >= 0;
-          break;
-        default:
-          break;
-      }
-      return BoolTerm(v);
-    }
-    case ExprOp::kCall: {
-      std::vector<Term> args;
-      args.reserve(e->args.size());
-      for (const auto& a : e->args) {
-        KGNET_ASSIGN_OR_RETURN(Term t, EvalExpr(a, ctx, sol));
-        args.push_back(std::move(t));
-      }
-      return ctx->udfs->Call(e->fn, args);
-    }
-  }
-  return Status::Internal("unhandled expression op");
-}
-
-/// Evaluates the BGP of `gp` (with eager FILTER application) starting from
-/// `seeds`; appends full solutions to `out`.
-Status EvalPatterns(const GraphPattern& gp, ExecContext* ctx,
-                    std::vector<Solution> seeds,
-                    std::vector<Solution>* out) {
+/// Legacy evaluator: the BGP of `gp` (with eager FILTER application)
+/// starting from `seeds`, by greedy indexed nested-loop joins with fully
+/// materialized intermediates. Kept verbatim as the reference
+/// implementation behind ExecMode::kMaterialized.
+Status EvalPatternsLegacy(const GraphPattern& gp, EvalContext* ctx,
+                          std::vector<Solution> seeds,
+                          std::vector<Solution>* out) {
   std::vector<CompiledPattern> patterns;
   patterns.reserve(gp.triples.size());
   for (const auto& pt : gp.triples)
@@ -230,7 +56,7 @@ Status EvalPatterns(const GraphPattern& gp, ExecContext* ctx,
 
   // Recursive greedy join.
   struct Rec {
-    ExecContext* ctx;
+    EvalContext* ctx;
     const std::vector<CompiledPattern>& patterns;
     std::vector<CompiledFilter>& filters;
     std::vector<bool>& used;
@@ -323,13 +149,34 @@ Status EvalPatterns(const GraphPattern& gp, ExecContext* ctx,
   return Status::OK();
 }
 
+/// Streaming evaluator: plans the BGP with the cost-based planner and
+/// drains the operator tree into `out`.
+Status EvalPatternsStreaming(const GraphPattern& gp, EvalContext* ctx,
+                             const std::vector<Solution>& seeds,
+                             std::vector<Solution>* out, ExecStats* stats) {
+  Plan plan = PlanBasicGraphPattern(gp, ctx, &seeds, stats);
+  plan.exec->Open(Solution(plan.width, kNullTermId));
+  Solution row(plan.width, kNullTermId);
+  while (plan.exec->Next(&row)) out->push_back(row);
+  return plan.exec->status();
+}
+
+Status EvalPatterns(const GraphPattern& gp, EvalContext* ctx,
+                    std::vector<Solution> seeds, std::vector<Solution>* out,
+                    bool streaming, ExecStats* stats) {
+  if (streaming) return EvalPatternsStreaming(gp, ctx, seeds, out, stats);
+  return EvalPatternsLegacy(gp, ctx, std::move(seeds), out);
+}
+
 /// Evaluates a full group pattern: BGP + filters, then UNION chains, then
 /// OPTIONAL left-joins. Returns the solution set (each padded to the
 /// current variable-table size).
-Status EvalGroup(const GraphPattern& gp, ExecContext* ctx,
-                 std::vector<Solution> seeds, std::vector<Solution>* out) {
+Status EvalGroup(const GraphPattern& gp, EvalContext* ctx,
+                 std::vector<Solution> seeds, std::vector<Solution>* out,
+                 bool streaming, ExecStats* stats) {
   std::vector<Solution> sols;
-  KGNET_RETURN_IF_ERROR(EvalPatterns(gp, ctx, std::move(seeds), &sols));
+  KGNET_RETURN_IF_ERROR(
+      EvalPatterns(gp, ctx, std::move(seeds), &sols, streaming, stats));
 
   // UNION chains: each group multiplies the solution set by its matching
   // alternatives.
@@ -337,7 +184,8 @@ Status EvalGroup(const GraphPattern& gp, ExecContext* ctx,
     std::vector<Solution> merged;
     for (const GraphPattern& alt : alternatives) {
       std::vector<Solution> branch;
-      KGNET_RETURN_IF_ERROR(EvalGroup(alt, ctx, sols, &branch));
+      KGNET_RETURN_IF_ERROR(
+          EvalGroup(alt, ctx, sols, &branch, streaming, stats));
       merged.insert(merged.end(), branch.begin(), branch.end());
     }
     sols = std::move(merged);
@@ -349,7 +197,8 @@ Status EvalGroup(const GraphPattern& gp, ExecContext* ctx,
     std::vector<Solution> joined;
     for (auto& sol : sols) {
       std::vector<Solution> ext;
-      KGNET_RETURN_IF_ERROR(EvalGroup(opt, ctx, {sol}, &ext));
+      KGNET_RETURN_IF_ERROR(
+          EvalGroup(opt, ctx, {sol}, &ext, streaming, stats));
       if (ext.empty()) {
         joined.push_back(std::move(sol));
       } else {
@@ -373,6 +222,80 @@ std::string RowKey(const std::vector<Term>& row) {
     key += '\x02';
   }
   return key;
+}
+
+/// The effective projection list: explicit SELECT items, or one bare-var
+/// item per registered variable for SELECT *.
+std::vector<SelectItem> ProjectionItems(const Query& query,
+                                        const EvalContext& ctx) {
+  std::vector<SelectItem> items = query.select;
+  if (query.select_all) {
+    for (size_t i = 0; i < ctx.vars.size(); ++i) {
+      SelectItem it;
+      it.expr = Expr::Var(ctx.vars.name(static_cast<int>(i)));
+      it.alias = ctx.vars.name(static_cast<int>(i));
+      items.push_back(std::move(it));
+    }
+  }
+  return items;
+}
+
+/// Evaluates one projected row; unbound variables become empty cells.
+Result<std::vector<Term>> ProjectRow(const std::vector<SelectItem>& items,
+                                     EvalContext* ctx, const Solution& sol) {
+  std::vector<Term> row;
+  row.reserve(items.size());
+  for (const auto& it : items) {
+    auto v = EvalExpr(it.expr, ctx, sol);
+    if (!v.ok()) {
+      if (v.status().code() == StatusCode::kFailedPrecondition) {
+        // Unbound variable in projection: empty cell.
+        row.push_back(Term::Literal(""));
+        continue;
+      }
+      return v.status();
+    }
+    row.push_back(std::move(*v));
+  }
+  return row;
+}
+
+/// Wraps the WHERE-clause plan in Project/Limit nodes and renders it,
+/// noting any materialized UNION/OPTIONAL stages.
+std::string DescribePlan(std::unique_ptr<PlanNode> desc, const Query& query) {
+  std::unique_ptr<PlanNode> root = std::move(desc);
+  if (query.kind == QueryKind::kSelect) {
+    std::string cols;
+    if (query.distinct) cols = "distinct ";
+    if (query.select_all) {
+      cols += "*";
+    } else {
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        if (i > 0) cols += ' ';
+        cols += '?';
+        cols += query.select[i].alias;
+      }
+    }
+    root = MakePlanNode(PlanNode::Kind::kProject, "Project(" + cols + ")",
+                        std::move(root));
+    if (query.limit >= 0 || query.offset > 0) {
+      std::string label = "Limit(";
+      label += query.limit >= 0 ? std::to_string(query.limit) : "all";
+      if (query.offset > 0)
+        label += " offset=" + std::to_string(query.offset);
+      label += ")";
+      root = MakePlanNode(PlanNode::Kind::kLimit, std::move(label),
+                          std::move(root));
+    }
+  }
+  std::string out = RenderPlanTree(*root);
+  if (!query.where.unions.empty())
+    out += "(+ " + std::to_string(query.where.unions.size()) +
+           " UNION chain(s), materialized)\n";
+  if (!query.where.optionals.empty())
+    out += "(+ " + std::to_string(query.where.optionals.size()) +
+           " OPTIONAL group(s), materialized)\n";
+  return out;
 }
 
 }  // namespace
@@ -444,14 +367,47 @@ size_t QueryEngine::EstimateWhereCardinality(const Query& query) const {
   return est;
 }
 
-Result<QueryResult> QueryEngine::Execute(const Query& query) {
-  ExecContext ctx{store_, &udfs_, {}};
+Result<std::string> QueryEngine::Explain(const Query& query) {
+  EvalContext ctx;
+  ctx.store = store_;
+  ctx.udfs = &udfs_;
+  // Pre-register variables in the same order Execute() would, so the plan
+  // shows the slots a real execution uses. Sub-SELECT columns come first.
+  for (const auto& sub : query.where.subselects)
+    for (const auto& it : ProjectionItems(*sub, ctx)) ctx.vars.SlotOf(it.alias);
+  for (const auto& pt : query.where.triples) {
+    if (pt.s.is_var) ctx.vars.SlotOf(pt.s.var);
+    if (pt.p.is_var) ctx.vars.SlotOf(pt.p.var);
+    if (pt.o.is_var) ctx.vars.SlotOf(pt.o.var);
+  }
+  ExecStats stats;
+  Plan plan = PlanBasicGraphPattern(query.where, &ctx, nullptr, &stats);
+  std::string out = DescribePlan(std::move(plan.desc), query);
+  if (!query.where.subselects.empty())
+    out += "(+ " + std::to_string(query.where.subselects.size()) +
+           " sub-SELECT seed(s))\n";
+  return out;
+}
+
+Result<std::string> QueryEngine::ExplainString(std::string_view text) {
+  KGNET_ASSIGN_OR_RETURN(Query q, ParseQuery(text));
+  return Explain(q);
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
+  EvalContext ctx;
+  ctx.store = store_;
+  ctx.udfs = &udfs_;
+  ExecStats stats;
+  const bool streaming = mode_ == ExecMode::kStreaming;
 
   // 1. Evaluate sub-SELECTs; seed the outer BGP with their solutions.
   std::vector<Solution> seeds;
   seeds.emplace_back();  // one empty solution
   for (const auto& sub : query.where.subselects) {
-    KGNET_ASSIGN_OR_RETURN(QueryResult sub_result, Execute(*sub));
+    ExecInfo sub_info;
+    KGNET_ASSIGN_OR_RETURN(QueryResult sub_result, Execute(*sub, &sub_info));
+    stats.rows_scanned += sub_info.rows_scanned;
     // Register subselect output columns as variables.
     std::vector<int> slots;
     for (const auto& col : sub_result.columns)
@@ -483,11 +439,58 @@ Result<QueryResult> QueryEngine::Execute(const Query& query) {
     if (pt.o.is_var) ctx.vars.SlotOf(pt.o.var);
   }
 
-  // 2. Evaluate the group pattern (BGP, filters, UNION, OPTIONAL).
+  const bool simple =
+      query.where.unions.empty() && query.where.optionals.empty();
+
+  // 2a. Streaming fast path: SELECT/ASK over a plain BGP pulls rows out
+  // of the operator tree one at a time, so LIMIT (and ASK's first hit)
+  // stop the underlying scans early instead of materializing everything.
+  if (streaming && simple &&
+      (query.kind == QueryKind::kSelect || query.kind == QueryKind::kAsk)) {
+    Plan plan = PlanBasicGraphPattern(query.where, &ctx, &seeds, &stats);
+    if (info != nullptr) {
+      // DescribePlan consumes the description tree; render it up front.
+      info->plan = DescribePlan(std::move(plan.desc), query);
+    }
+    QueryResult result;
+    plan.exec->Open(Solution(plan.width, kNullTermId));
+    Solution sol(plan.width, kNullTermId);
+
+    if (query.kind == QueryKind::kAsk) {
+      result.ask_result = plan.exec->Next(&sol);
+      KGNET_RETURN_IF_ERROR(plan.exec->status());
+      if (info != nullptr) info->rows_scanned = stats.rows_scanned;
+      return result;
+    }
+
+    std::vector<SelectItem> items = ProjectionItems(query, ctx);
+    for (const auto& it : items) result.columns.push_back(it.alias);
+    std::unordered_set<std::string> seen;
+    size_t skipped = 0;
+    while ((query.limit < 0 ||
+            result.rows.size() < static_cast<size_t>(query.limit)) &&
+           plan.exec->Next(&sol)) {
+      KGNET_ASSIGN_OR_RETURN(std::vector<Term> row,
+                             ProjectRow(items, &ctx, sol));
+      if (query.distinct && !seen.insert(RowKey(row)).second) continue;
+      if (static_cast<int64_t>(skipped) < query.offset) {
+        ++skipped;
+        continue;
+      }
+      result.rows.push_back(std::move(row));
+    }
+    KGNET_RETURN_IF_ERROR(plan.exec->status());
+    if (info != nullptr) info->rows_scanned = stats.rows_scanned;
+    return result;
+  }
+
+  // 2b. Materialized path: UNION/OPTIONAL structure, updates, or the
+  // legacy executor. Each inner BGP still streams when in streaming mode.
   std::vector<Solution> solutions;
-  KGNET_RETURN_IF_ERROR(
-      EvalGroup(query.where, &ctx, std::move(seeds), &solutions));
+  KGNET_RETURN_IF_ERROR(EvalGroup(query.where, &ctx, std::move(seeds),
+                                  &solutions, streaming, &stats));
   for (auto& s : solutions) s.resize(ctx.vars.size(), kNullTermId);
+  if (info != nullptr) info->rows_scanned = stats.rows_scanned;
 
   QueryResult result;
 
@@ -538,35 +541,13 @@ Result<QueryResult> QueryEngine::Execute(const Query& query) {
   }
 
   // 3. Projection.
-  std::vector<SelectItem> items = query.select;
-  if (query.select_all) {
-    for (size_t i = 0; i < ctx.vars.size(); ++i) {
-      SelectItem it;
-      it.expr = Expr::Var(ctx.vars.name(static_cast<int>(i)));
-      it.alias = ctx.vars.name(static_cast<int>(i));
-      items.push_back(std::move(it));
-    }
-  }
+  std::vector<SelectItem> items = ProjectionItems(query, ctx);
   for (const auto& it : items) result.columns.push_back(it.alias);
 
   std::unordered_set<std::string> seen;
   for (const auto& sol : solutions) {
-    std::vector<Term> row;
-    row.reserve(items.size());
-    bool ok_row = true;
-    for (const auto& it : items) {
-      auto v = EvalExpr(it.expr, &ctx, sol);
-      if (!v.ok()) {
-        if (v.status().code() == StatusCode::kFailedPrecondition) {
-          // Unbound variable in projection: empty cell.
-          row.push_back(Term::Literal(""));
-          continue;
-        }
-        return v.status();
-      }
-      row.push_back(std::move(*v));
-    }
-    if (!ok_row) continue;
+    KGNET_ASSIGN_OR_RETURN(std::vector<Term> row,
+                           ProjectRow(items, &ctx, sol));
     if (query.distinct) {
       std::string key = RowKey(row);
       if (!seen.insert(key).second) continue;

@@ -34,12 +34,39 @@ struct QueryResult {
   std::string ToTable() const;
 };
 
+/// How Execute() evaluates basic graph patterns.
+enum class ExecMode {
+  /// Volcano-style streaming operator tree from the cost-based planner
+  /// (sparql/plan.h): merge/hash/bind joins over sorted index cursors,
+  /// LIMIT stops the scans early. The default.
+  kStreaming,
+  /// The legacy evaluator: greedy indexed nested-loop joins with fully
+  /// materialized intermediates. Kept as a reference implementation for
+  /// differential tests and old-vs-new benchmarks.
+  kMaterialized,
+};
+
+/// Per-query execution report: the EXPLAIN-style plan plus runtime
+/// counters (tests assert that LIMIT short-circuits rows_scanned).
+struct ExecInfo {
+  /// Rendered operator tree of the WHERE clause. Only populated on the
+  /// streaming SELECT/ASK fast path; empty in kMaterialized mode and for
+  /// queries that take the materialized UNION/OPTIONAL/update path.
+  std::string plan;
+  /// Matching triples pulled out of index cursors across the whole query.
+  size_t rows_scanned = 0;
+};
+
 /// Executes SPARQL queries against a single TripleStore.
 ///
-/// The engine plans basic graph patterns greedily: at each step it picks the
-/// remaining triple pattern with the lowest estimated cardinality given the
-/// variables already bound, then performs an indexed nested-loop join.
-/// FILTERs are applied as soon as every variable they mention is bound.
+/// Basic graph patterns are compiled by a cost-based planner into a
+/// streaming operator tree (IndexScan over the sorted SPO/POS/OSP
+/// permutation indexes, SortMergeJoin when both inputs stream in the same
+/// shared-variable order, BindJoin for selective outers, HashJoin as the
+/// fallback). FILTERs apply at the lowest operator where every variable
+/// they mention is bound; SELECT/ASK results stream, so LIMIT queries
+/// stop scanning early. UNION and OPTIONAL groups are evaluated per the
+/// legacy materialized structure with each inner BGP streamed.
 class QueryEngine {
  public:
   explicit QueryEngine(rdf::TripleStore* store) : store_(store) {}
@@ -47,13 +74,25 @@ class QueryEngine {
   /// Parses and executes `text`.
   Result<QueryResult> ExecuteString(std::string_view text);
 
-  /// Executes an already-parsed query.
-  Result<QueryResult> Execute(const Query& query);
+  /// Executes an already-parsed query. `info`, when non-null, receives
+  /// the chosen plan and runtime counters.
+  Result<QueryResult> Execute(const Query& query, ExecInfo* info = nullptr);
+
+  /// Renders the physical plan the streaming executor would use for the
+  /// WHERE clause of `query` (plus Project/Limit wrappers for SELECT)
+  /// without executing it — the plain-SPARQL analogue of EXPLAIN.
+  Result<std::string> Explain(const Query& query);
+
+  /// Parses `text` and renders its plan.
+  Result<std::string> ExplainString(std::string_view text);
 
   /// Estimated number of solutions of the WHERE clause of `query`
   /// (product of per-pattern estimates after greedy ordering; an upper
   /// bound used by the SPARQL-ML optimizer).
   size_t EstimateWhereCardinality(const Query& query) const;
+
+  ExecMode exec_mode() const { return mode_; }
+  void set_exec_mode(ExecMode mode) { mode_ = mode; }
 
   UdfRegistry& udfs() { return udfs_; }
   rdf::TripleStore* store() { return store_; }
@@ -61,6 +100,7 @@ class QueryEngine {
  private:
   rdf::TripleStore* store_;
   UdfRegistry udfs_;
+  ExecMode mode_ = ExecMode::kStreaming;
 };
 
 }  // namespace kgnet::sparql

@@ -1,0 +1,390 @@
+#include "sparql/exec.h"
+
+namespace kgnet::sparql {
+
+using rdf::kNullTermId;
+using rdf::Term;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+// ------------------------------------------------- expression evaluation --
+
+bool EffectiveBool(const Term& t) {
+  if (t.is_literal()) {
+    if (t.lexical == "true") return true;
+    if (t.lexical == "false") return false;
+    double d;
+    if (t.AsDouble(&d)) return d != 0.0;
+    return !t.lexical.empty();
+  }
+  return true;  // IRIs / blanks are truthy
+}
+
+Term BoolTerm(bool b) {
+  return Term::TypedLiteral(b ? "true" : "false",
+                            "http://www.w3.org/2001/XMLSchema#boolean");
+}
+
+void CollectExprVars(const ExprPtr& e, std::set<std::string>* out) {
+  if (!e) return;
+  if (e->op == ExprOp::kVar) out->insert(e->var);
+  for (const auto& a : e->args) CollectExprVars(a, out);
+}
+
+Result<Term> EvalExpr(const ExprPtr& e, EvalContext* ctx,
+                      const Solution& sol) {
+  switch (e->op) {
+    case ExprOp::kVar: {
+      int slot = ctx->vars.Find(e->var);
+      if (slot < 0 || static_cast<size_t>(slot) >= sol.size() ||
+          sol[slot] == kNullTermId)
+        return Status::FailedPrecondition("unbound variable ?" + e->var);
+      return ctx->store->dict().Lookup(sol[slot]);
+    }
+    case ExprOp::kConst:
+      return e->constant;
+    case ExprOp::kNot: {
+      KGNET_ASSIGN_OR_RETURN(Term inner, EvalExpr(e->args[0], ctx, sol));
+      return BoolTerm(!EffectiveBool(inner));
+    }
+    case ExprOp::kAnd:
+    case ExprOp::kOr: {
+      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
+      bool lv = EffectiveBool(l);
+      if (e->op == ExprOp::kAnd && !lv) return BoolTerm(false);
+      if (e->op == ExprOp::kOr && lv) return BoolTerm(true);
+      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
+      return BoolTerm(EffectiveBool(r));
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      KGNET_ASSIGN_OR_RETURN(Term l, EvalExpr(e->args[0], ctx, sol));
+      KGNET_ASSIGN_OR_RETURN(Term r, EvalExpr(e->args[1], ctx, sol));
+      double ld, rd;
+      int cmp;
+      if (l.AsDouble(&ld) && r.AsDouble(&rd)) {
+        cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
+      } else {
+        // Kind-aware lexical comparison.
+        if (l.kind != r.kind && (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
+          return BoolTerm(e->op == ExprOp::kNe);
+        cmp = l.lexical.compare(r.lexical);
+        cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+        if (cmp == 0 && (l.datatype != r.datatype || l.lang != r.lang) &&
+            (e->op == ExprOp::kEq || e->op == ExprOp::kNe))
+          cmp = 1;
+      }
+      bool v = false;
+      switch (e->op) {
+        case ExprOp::kEq:
+          v = cmp == 0;
+          break;
+        case ExprOp::kNe:
+          v = cmp != 0;
+          break;
+        case ExprOp::kLt:
+          v = cmp < 0;
+          break;
+        case ExprOp::kLe:
+          v = cmp <= 0;
+          break;
+        case ExprOp::kGt:
+          v = cmp > 0;
+          break;
+        case ExprOp::kGe:
+          v = cmp >= 0;
+          break;
+        default:
+          break;
+      }
+      return BoolTerm(v);
+    }
+    case ExprOp::kCall: {
+      std::vector<Term> args;
+      args.reserve(e->args.size());
+      for (const auto& a : e->args) {
+        KGNET_ASSIGN_OR_RETURN(Term t, EvalExpr(a, ctx, sol));
+        args.push_back(std::move(t));
+      }
+      return ctx->udfs->Call(e->fn, args);
+    }
+  }
+  return Status::Internal("unhandled expression op");
+}
+
+// ------------------------------------------------------ pattern compiling --
+
+namespace {
+
+TermId ResolveNode(const NodeRef& n, EvalContext* ctx, int* slot) {
+  if (n.is_var) {
+    *slot = ctx->vars.SlotOf(n.var);
+    return kNullTermId;
+  }
+  *slot = -1;
+  // A constant never present in the dictionary cannot match; we intern it
+  // so updates can still create it, and matching degrades to id-compare.
+  return ctx->store->dict().Intern(n.term);
+}
+
+}  // namespace
+
+CompiledPattern CompilePattern(const PatternTriple& pt, EvalContext* ctx) {
+  CompiledPattern cp;
+  cp.s_const = ResolveNode(pt.s, ctx, &cp.s_slot);
+  cp.p_const = ResolveNode(pt.p, ctx, &cp.p_slot);
+  cp.o_const = ResolveNode(pt.o, ctx, &cp.o_slot);
+  return cp;
+}
+
+TriplePattern BindPattern(const CompiledPattern& cp, const Solution& sol) {
+  TriplePattern p;
+  p.s = cp.s_slot >= 0 ? sol[cp.s_slot] : cp.s_const;
+  p.p = cp.p_slot >= 0 ? sol[cp.p_slot] : cp.p_const;
+  p.o = cp.o_slot >= 0 ? sol[cp.o_slot] : cp.o_const;
+  return p;
+}
+
+// --------------------------------------------------------------- helpers --
+
+bool MergeRows(const Solution& l, const Solution& r, Solution* out) {
+  const size_t n = out->size();
+  for (size_t i = 0; i < n; ++i) {
+    const TermId lv = i < l.size() ? l[i] : kNullTermId;
+    const TermId rv = i < r.size() ? r[i] : kNullTermId;
+    if (lv != kNullTermId && rv != kNullTermId && lv != rv) return false;
+    (*out)[i] = lv != kNullTermId ? lv : rv;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- SeedScan --
+
+void SeedScan::Open(const Solution& outer) {
+  outer_ = outer;
+  outer_.resize(width_, kNullTermId);
+  pos_ = 0;
+}
+
+bool SeedScan::Next(Solution* row) {
+  while (pos_ < seeds_->size()) {
+    const Solution& seed = (*seeds_)[pos_++];
+    row->assign(width_, kNullTermId);
+    if (MergeRows(outer_, seed, row)) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------- IndexScan --
+
+void IndexScan::Open(const Solution& outer) {
+  base_ = outer;
+  base_.resize(width_, kNullTermId);
+  TriplePattern pattern = BindPattern(cp_, base_);
+  rdf::IndexOrder order =
+      order_ ? *order_ : rdf::TripleStore::ChooseIndex(pattern);
+  cursor_ = store_->OpenCursor(order, pattern);
+}
+
+bool IndexScan::Next(Solution* row) {
+  Triple t;
+  while (cursor_.Next(&t)) {
+    ++stats_->rows_scanned;
+    *row = base_;
+    // Bind free positions; repeated variables must agree with themselves
+    // (positions already bound in base_ were part of the seek pattern).
+    bool ok = true;
+    auto bind = [&](int slot, TermId value) {
+      if (slot < 0) return;
+      TermId& cell = (*row)[slot];
+      if (cell != kNullTermId && cell != value)
+        ok = false;
+      else
+        cell = value;
+    };
+    bind(cp_.s_slot, t.s);
+    bind(cp_.p_slot, t.p);
+    bind(cp_.o_slot, t.o);
+    if (ok) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------- SortMergeJoin --
+
+void SortMergeJoin::Open(const Solution& outer) {
+  left_->Open(outer);
+  right_->Open(outer);
+  lrow_.clear();
+  rrow_.clear();
+  lvalid_ = AdvanceLeft();
+  rvalid_ = AdvanceRight();
+  group_.clear();
+  gpos_ = 0;
+  matching_ = false;
+}
+
+bool SortMergeJoin::AdvanceLeft() {
+  lvalid_ = left_->Next(&lrow_);
+  if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
+  return lvalid_;
+}
+
+bool SortMergeJoin::AdvanceRight() {
+  rvalid_ = right_->Next(&rrow_);
+  if (!rvalid_ && !right_->status().ok()) status_ = right_->status();
+  return rvalid_;
+}
+
+bool SortMergeJoin::Next(Solution* row) {
+  for (;;) {
+    if (!status_.ok()) return false;
+    if (matching_) {
+      // Emit remaining (current left row) x (buffered right group) pairs.
+      if (gpos_ < group_.size()) {
+        const Solution& r = group_[gpos_++];
+        row->resize(lrow_.size());
+        if (MergeRows(lrow_, r, row)) return true;
+        continue;
+      }
+      // Group exhausted for this left row; the next left row may share
+      // the same key and reuse the buffered group.
+      if (!AdvanceLeft()) return false;
+      if (lrow_[key_] == gkey_) {
+        gpos_ = 0;
+        continue;
+      }
+      matching_ = false;
+    }
+    if (!lvalid_ || !rvalid_) return false;
+    const TermId lk = lrow_[key_];
+    const TermId rk = rrow_[key_];
+    if (lk < rk) {
+      if (!AdvanceLeft()) return false;
+      continue;
+    }
+    if (lk > rk) {
+      if (!AdvanceRight()) return false;
+      continue;
+    }
+    // Keys align: buffer the full right group for this key.
+    group_.clear();
+    gkey_ = rk;
+    while (rvalid_ && rrow_[key_] == gkey_) {
+      group_.push_back(rrow_);
+      AdvanceRight();
+    }
+    gpos_ = 0;
+    matching_ = true;
+  }
+}
+
+// -------------------------------------------------------------- HashJoin --
+
+uint64_t HashJoin::KeyOf(const Solution& row) const {
+  uint64_t h = 1469598103934665603ull;
+  for (int s : key_slots_) {
+    h ^= row[s];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void HashJoin::Open(const Solution& outer) {
+  table_.clear();
+  bucket_ = nullptr;
+  bpos_ = 0;
+  build_->Open(outer);
+  Solution row;
+  while (build_->Next(&row)) table_[KeyOf(row)].push_back(row);
+  if (!build_->status().ok()) {
+    status_ = build_->status();
+    return;
+  }
+  probe_->Open(outer);
+}
+
+bool HashJoin::Next(Solution* row) {
+  if (!status_.ok()) return false;
+  for (;;) {
+    if (bucket_ != nullptr) {
+      while (bpos_ < bucket_->size()) {
+        const Solution& b = (*bucket_)[bpos_++];
+        row->resize(prow_.size());
+        if (MergeRows(prow_, b, row)) return true;
+      }
+      bucket_ = nullptr;
+    }
+    if (!probe_->Next(&prow_)) {
+      if (!probe_->status().ok()) status_ = probe_->status();
+      return false;
+    }
+    auto it = table_.find(KeyOf(prow_));
+    if (it != table_.end()) {
+      bucket_ = &it->second;
+      bpos_ = 0;
+    }
+  }
+}
+
+// -------------------------------------------------------------- BindJoin --
+
+void BindJoin::Open(const Solution& outer) {
+  left_->Open(outer);
+  lvalid_ = left_->Next(&lrow_);
+  if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
+  if (lvalid_) right_->Open(lrow_);
+}
+
+bool BindJoin::Next(Solution* row) {
+  while (lvalid_ && status_.ok()) {
+    if (right_->Next(row)) return true;
+    if (!right_->status().ok()) {
+      status_ = right_->status();
+      return false;
+    }
+    lvalid_ = left_->Next(&lrow_);
+    if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
+    if (lvalid_) right_->Open(lrow_);
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- FilterOp --
+
+void FilterOp::Open(const Solution& outer) { child_->Open(outer); }
+
+bool FilterOp::Next(Solution* row) {
+  while (child_->Next(row)) {
+    bool pass = true;
+    for (const Condition& f : filters_) {
+      bool ready = true;
+      for (int slot : f.required_slots) {
+        if ((*row)[slot] == kNullTermId) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;  // lenient: not all variables bound yet
+      auto v = EvalExpr(f.expr, ctx_, *row);
+      if (!v.ok()) {
+        status_ = v.status();
+        return false;
+      }
+      if (!EffectiveBool(*v)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) return true;
+  }
+  if (!child_->status().ok()) status_ = child_->status();
+  return false;
+}
+
+}  // namespace kgnet::sparql

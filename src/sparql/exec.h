@@ -1,0 +1,292 @@
+// Volcano-style streaming execution for the SPARQL engine.
+//
+// The planner (sparql/plan.h) compiles a basic graph pattern into a tree
+// of Operators. Execution is pull-based: every Next() call produces one
+// solution row (a slot -> TermId vector), so work proceeds lazily and a
+// LIMIT at the top of the tree stops the index scans underneath after
+// just enough rows. IndexScan streams one TripleStore permutation-index
+// range in sorted order; SortMergeJoin exploits that order; HashJoin and
+// BindJoin (index nested-loop) cover the unordered cases.
+//
+// This header also hosts the evaluation helpers shared with the engine's
+// projection/filter code: the variable table, compiled patterns and the
+// expression evaluator.
+#ifndef KGNET_SPARQL_EXEC_H_
+#define KGNET_SPARQL_EXEC_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/udf_registry.h"
+
+namespace kgnet::sparql {
+
+/// Maps variable names to dense solution slots for one query.
+class VarTable {
+ public:
+  int SlotOf(const std::string& name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    index_.emplace(name, slot);
+    names_.push_back(name);
+    return slot;
+  }
+  int Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+  }
+  size_t size() const { return names_.size(); }
+  const std::string& name(int slot) const { return names_[slot]; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> names_;
+};
+
+/// One (partial) solution: slot -> bound term id (kNullTermId = unbound).
+using Solution = std::vector<rdf::TermId>;
+
+/// Shared state for one query execution.
+struct EvalContext {
+  rdf::TripleStore* store = nullptr;
+  UdfRegistry* udfs = nullptr;
+  VarTable vars;
+};
+
+/// Truthiness of a term under SPARQL effective-boolean-value rules
+/// (simplified).
+bool EffectiveBool(const rdf::Term& t);
+
+/// An xsd:boolean literal.
+rdf::Term BoolTerm(bool b);
+
+/// Collects the variables an expression mentions.
+void CollectExprVars(const ExprPtr& e, std::set<std::string>* out);
+
+/// Evaluates an expression under the bindings of `sol`.
+Result<rdf::Term> EvalExpr(const ExprPtr& e, EvalContext* ctx,
+                           const Solution& sol);
+
+/// A triple pattern with every position resolved to either a variable
+/// slot (>= 0) or a constant term id.
+struct CompiledPattern {
+  int s_slot = -1;  // -1 = constant
+  int p_slot = -1;
+  int o_slot = -1;
+  rdf::TermId s_const = rdf::kNullTermId;
+  rdf::TermId p_const = rdf::kNullTermId;
+  rdf::TermId o_const = rdf::kNullTermId;
+};
+
+/// Resolves `pt`, registering its variables in ctx->vars and interning its
+/// constants.
+CompiledPattern CompilePattern(const PatternTriple& pt, EvalContext* ctx);
+
+/// Substitutes current bindings: a bound slot acts as a constant, a free
+/// slot stays a wildcard.
+rdf::TriplePattern BindPattern(const CompiledPattern& cp, const Solution& sol);
+
+/// Counters shared by every operator of one plan; surfaced to callers as
+/// QueryEngine::ExecInfo so tests can assert that LIMIT short-circuits.
+struct ExecStats {
+  size_t rows_scanned = 0;  // matching triples pulled out of index cursors
+};
+
+/// A pull-based streaming operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// (Re)starts the stream. `outer` supplies bindings from the enclosing
+  /// context: the all-unbound row at the plan root, or the current outer
+  /// row when a BindJoin re-opens its inner side.
+  virtual void Open(const Solution& outer) = 0;
+
+  /// Produces the next row (full slot width) into `*row`. Returns false
+  /// when the stream is exhausted or an error occurred (check status()).
+  virtual bool Next(Solution* row) = 0;
+
+  /// Variable slot whose values are non-decreasing across emitted rows,
+  /// or -1 when the stream is unordered. SortMergeJoin requires both of
+  /// its inputs to be ordered on the join slot.
+  virtual int ordered_slot() const { return -1; }
+
+  const Status& status() const { return status_; }
+
+ protected:
+  Status status_ = Status::OK();
+};
+
+/// Merges two partial rows into `out`; false when some slot carries
+/// different ids on the two sides (join inconsistency).
+bool MergeRows(const Solution& l, const Solution& r, Solution* out);
+
+/// Emits a fixed set of seed solutions (sub-SELECT output, OPTIONAL outer
+/// rows, or the single empty row that starts a plain query).
+class SeedScan : public Operator {
+ public:
+  /// Borrows `seeds` (must outlive the operator); rows are widened to
+  /// `width` slots as they stream out.
+  SeedScan(const std::vector<Solution>* seeds, size_t width)
+      : seeds_(seeds), width_(width) {}
+  /// Owns a seed set (used for the implicit single empty seed).
+  SeedScan(std::vector<Solution> seeds, size_t width)
+      : owned_(std::move(seeds)), seeds_(&owned_), width_(width) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+
+ private:
+  std::vector<Solution> owned_;
+  const std::vector<Solution>* seeds_;
+  size_t width_;
+  size_t pos_ = 0;
+  Solution outer_;
+};
+
+/// Streams one triple pattern from a permutation-index range, binding the
+/// pattern's free slots. With a fixed `order`, rows arrive sorted by
+/// `ordered_slot`; without one, the best index is chosen at Open() time
+/// from the then-bound positions (the BindJoin inner side).
+class IndexScan : public Operator {
+ public:
+  IndexScan(rdf::TripleStore* store, const CompiledPattern& cp, size_t width,
+            std::optional<rdf::IndexOrder> order, int ordered_slot,
+            ExecStats* stats)
+      : store_(store),
+        cp_(cp),
+        width_(width),
+        order_(order),
+        ordered_slot_(ordered_slot),
+        stats_(stats) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return ordered_slot_; }
+
+ private:
+  rdf::TripleStore* store_;
+  CompiledPattern cp_;
+  size_t width_;
+  std::optional<rdf::IndexOrder> order_;
+  int ordered_slot_;
+  ExecStats* stats_;
+  rdf::TripleCursor cursor_;
+  Solution base_;
+};
+
+/// Merge join of two inputs ordered on the same variable slot. Residual
+/// shared variables (beyond the key) are checked by MergeRows.
+class SortMergeJoin : public Operator {
+ public:
+  SortMergeJoin(std::unique_ptr<Operator> left,
+                std::unique_ptr<Operator> right, int key_slot)
+      : left_(std::move(left)), right_(std::move(right)), key_(key_slot) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return key_; }
+
+ private:
+  bool AdvanceLeft();
+  bool AdvanceRight();
+
+  std::unique_ptr<Operator> left_, right_;
+  int key_;
+  Solution lrow_, rrow_;
+  bool lvalid_ = false, rvalid_ = false;
+  std::vector<Solution> group_;  // right rows sharing the current key
+  rdf::TermId gkey_ = rdf::kNullTermId;
+  size_t gpos_ = 0;
+  bool matching_ = false;
+};
+
+/// Hash join: materializes the build side into a hash table at Open(),
+/// then streams the probe side. The probe side's order is preserved, so
+/// ordered_slot passes through. An empty key set degenerates to a cross
+/// product (single bucket).
+class HashJoin : public Operator {
+ public:
+  HashJoin(std::unique_ptr<Operator> probe, std::unique_ptr<Operator> build,
+           std::vector<int> key_slots)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        key_slots_(std::move(key_slots)) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return probe_->ordered_slot(); }
+
+ private:
+  /// FNV-1a over the key slot ids. A (vanishingly rare) collision merges
+  /// two buckets, which only costs extra MergeRows attempts — MergeRows
+  /// re-validates every shared slot, so results stay exact.
+  uint64_t KeyOf(const Solution& row) const;
+
+  std::unique_ptr<Operator> probe_, build_;
+  std::vector<int> key_slots_;
+  std::unordered_map<uint64_t, std::vector<Solution>> table_;
+  Solution prow_;
+  const std::vector<Solution>* bucket_ = nullptr;
+  size_t bpos_ = 0;
+};
+
+/// Index nested-loop join: re-opens the inner side (an IndexScan in
+/// auto-index mode) once per outer row, pushing the outer bindings into
+/// the scan's seek prefix. Preserves the outer side's order.
+class BindJoin : public Operator {
+ public:
+  BindJoin(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return left_->ordered_slot(); }
+
+ private:
+  std::unique_ptr<Operator> left_, right_;
+  Solution lrow_;
+  bool lvalid_ = false;
+};
+
+/// Streams child rows that satisfy every attached FILTER expression. The
+/// planner attaches a filter at the lowest operator where all of its
+/// variables are statically bound. Filters the plan cannot prove bound
+/// (e.g. variables bound in only some seed rows) attach at the top in
+/// lenient mode: they are evaluated only on rows that do bind all their
+/// variables and pass otherwise, matching the legacy evaluator's
+/// apply-when-ready semantics.
+class FilterOp : public Operator {
+ public:
+  struct Condition {
+    ExprPtr expr;
+    /// Non-empty = lenient: skip the expression unless every listed slot
+    /// is bound in the row.
+    std::vector<int> required_slots;
+  };
+
+  FilterOp(std::unique_ptr<Operator> child, std::vector<Condition> filters,
+           EvalContext* ctx)
+      : child_(std::move(child)), filters_(std::move(filters)), ctx_(ctx) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return child_->ordered_slot(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<Condition> filters_;
+  EvalContext* ctx_;
+};
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_EXEC_H_

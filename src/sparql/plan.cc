@@ -1,0 +1,472 @@
+#include "sparql/plan.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "sparql/serializer.h"
+
+namespace kgnet::sparql {
+
+namespace {
+
+using rdf::IndexOrder;
+using rdf::kNullTermId;
+using rdf::TermId;
+using rdf::TriplePattern;
+
+// Estimates saturate well below SIZE_MAX so sums stay overflow-free.
+constexpr size_t kMaxEst = SIZE_MAX / 8;
+
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kMaxEst / b) return kMaxEst;
+  return a * b;
+}
+
+/// Standard equi-join output estimate: |L x R| / max(distinct keys),
+/// approximated with distinct = the larger side, i.e. min(L, R).
+size_t JoinEst(size_t l, size_t r) {
+  if (l == 0 || r == 0) return 0;
+  return std::min(l, r);
+}
+
+int SlotAtPosition(const CompiledPattern& cp, int pos) {
+  return pos == 0 ? cp.s_slot : (pos == 1 ? cp.p_slot : cp.o_slot);
+}
+
+/// One way to scan a pattern: which index, how big the seekable range is,
+/// and which variable the range streams in order of.
+struct ScanChoice {
+  IndexOrder order = IndexOrder::kSpo;
+  size_t range = 0;
+  int ordered_slot = -1;
+};
+
+struct PatternState {
+  const PatternTriple* src = nullptr;
+  CompiledPattern cp;
+  TriplePattern consts;  // constant positions only, variables open
+  std::array<ScanChoice, 3> choices;
+  int cheapest = 0;       // index into `choices` with the smallest range
+  size_t out_est = 0;     // estimated matching triples
+  std::vector<int> slots;  // distinct variable slots
+  bool joined = false;
+};
+
+struct CompiledFilter {
+  ExprPtr expr;
+  std::vector<int> slots;
+  bool attached = false;
+};
+
+std::string PatternLabel(const PatternState& p, const char* index_name) {
+  std::string s = "IndexScan[";
+  s += index_name;
+  s += "] ";
+  s += SerializeNode(p.src->s);
+  s += ' ';
+  s += SerializeNode(p.src->p);
+  s += ' ';
+  s += SerializeNode(p.src->o);
+  return s;
+}
+
+std::string SlotList(const std::vector<int>& slots, const VarTable& vars) {
+  std::string s;
+  for (int slot : slots) {
+    if (!s.empty()) s += ' ';
+    s += '?';
+    s += vars.name(slot);
+  }
+  return s;
+}
+
+/// The running left-deep plan under construction.
+struct Running {
+  std::unique_ptr<Operator> op;
+  std::unique_ptr<PlanNode> desc;
+  size_t est = 1;
+  int ordered = -1;
+  std::set<int> bound;
+};
+
+std::unique_ptr<PlanNode> LeafNode(PlanNode::Kind kind, std::string label,
+                                   size_t est) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = kind;
+  n->label = std::move(label);
+  n->est_rows = est;
+  return n;
+}
+
+std::unique_ptr<PlanNode> JoinNode(PlanNode::Kind kind, std::string label,
+                                   size_t est, std::unique_ptr<PlanNode> l,
+                                   std::unique_ptr<PlanNode> r) {
+  auto n = LeafNode(kind, std::move(label), est);
+  n->children.push_back(std::move(l));
+  n->children.push_back(std::move(r));
+  return n;
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> MakePlanNode(PlanNode::Kind kind, std::string label,
+                                       std::unique_ptr<PlanNode> child) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = kind;
+  n->label = std::move(label);
+  if (child) {
+    n->est_rows = child->est_rows;
+    n->children.push_back(std::move(child));
+  }
+  return n;
+}
+
+static void RenderInto(const PlanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << node.label;
+  if (node.kind != PlanNode::Kind::kProject &&
+      node.kind != PlanNode::Kind::kLimit)
+    *os << " est=" << node.est_rows;
+  *os << '\n';
+  for (const auto& c : node.children) RenderInto(*c, depth + 1, os);
+}
+
+std::string RenderPlanTree(const PlanNode& root) {
+  std::ostringstream os;
+  RenderInto(root, 0, &os);
+  return os.str();
+}
+
+Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
+                           const std::vector<Solution>* seeds,
+                           ExecStats* stats) {
+  rdf::TripleStore* store = ctx->store;
+  const double log_n = std::log2(static_cast<double>(store->size()) + 2.0);
+
+  // --- compile patterns and filters first so the slot width is final ---
+  std::vector<PatternState> patterns;
+  patterns.reserve(gp.triples.size());
+  for (const auto& pt : gp.triples) {
+    PatternState ps;
+    ps.src = &pt;
+    ps.cp = CompilePattern(pt, ctx);
+    patterns.push_back(std::move(ps));
+  }
+  std::vector<CompiledFilter> filters;
+  for (const auto& f : gp.filters) {
+    CompiledFilter cf;
+    cf.expr = f;
+    std::set<std::string> names;
+    CollectExprVars(f, &names);
+    for (const auto& n : names) cf.slots.push_back(ctx->vars.SlotOf(n));
+    filters.push_back(std::move(cf));
+  }
+  const size_t width = ctx->vars.size();
+
+  // --- per-pattern scan choices ---
+  for (PatternState& ps : patterns) {
+    const Solution empty(width, kNullTermId);
+    ps.consts = BindPattern(ps.cp, empty);
+    ps.out_est = std::min(store->EstimateCardinality(ps.consts), kMaxEst);
+    std::set<int> slot_set;
+    for (int pos = 0; pos < 3; ++pos) {
+      int slot = SlotAtPosition(ps.cp, pos);
+      if (slot >= 0) slot_set.insert(slot);
+    }
+    ps.slots.assign(slot_set.begin(), slot_set.end());
+    const IndexOrder orders[3] = {IndexOrder::kSpo, IndexOrder::kPos,
+                                  IndexOrder::kOsp};
+    for (int i = 0; i < 3; ++i) {
+      ScanChoice& c = ps.choices[i];
+      c.order = orders[i];
+      c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
+      auto positions = IndexOrderPositions(c.order);
+      c.ordered_slot = -1;
+      for (int k = 0; k < 3; ++k) {
+        int slot = SlotAtPosition(ps.cp, positions[k]);
+        if (slot >= 0) {
+          // First variable key position; everything before it is a bound
+          // constant prefix, so the range streams ordered by this slot.
+          c.ordered_slot = slot;
+          break;
+        }
+      }
+      if (c.range < ps.choices[ps.cheapest].range) ps.cheapest = i;
+    }
+  }
+
+  // --- seed relation ---
+  Running run;
+  bool have_relation = false;
+  bool use_seeds = false;
+  if (seeds != nullptr) {
+    // A single all-unbound row is the trivial seed: skip the relation.
+    use_seeds = seeds->size() != 1;
+    if (!use_seeds && !seeds->empty()) {
+      for (TermId id : (*seeds)[0])
+        if (id != kNullTermId) use_seeds = true;
+    }
+  }
+  if (use_seeds) {
+    run.op = std::make_unique<SeedScan>(seeds, width);
+    run.desc = LeafNode(PlanNode::Kind::kSeed,
+                        "Seed(n=" + std::to_string(seeds->size()) + ")",
+                        seeds->size());
+    run.est = seeds->size();
+    run.ordered = -1;
+    // A slot counts as seed-bound only when every seed row binds it.
+    if (!seeds->empty()) {
+      for (size_t slot = 0; slot < width; ++slot) {
+        bool in_all = true;
+        for (const Solution& s : *seeds) {
+          if (slot >= s.size() || s[slot] == kNullTermId) {
+            in_all = false;
+            break;
+          }
+        }
+        if (in_all) run.bound.insert(static_cast<int>(slot));
+      }
+    }
+    have_relation = true;
+  }
+
+  // Attaches every not-yet-attached filter whose variables are all bound.
+  auto attach_filters = [&]() {
+    std::vector<FilterOp::Condition> ready;
+    for (CompiledFilter& cf : filters) {
+      if (cf.attached) continue;
+      bool ok = true;
+      for (int slot : cf.slots)
+        if (run.bound.count(slot) == 0) {
+          ok = false;
+          break;
+        }
+      if (!ok) continue;
+      cf.attached = true;
+      ready.push_back({cf.expr, {}});
+      run.desc = MakePlanNode(PlanNode::Kind::kFilter,
+                              "Filter(" + SerializeExpr(cf.expr) + ")",
+                              std::move(run.desc));
+      run.desc->est_rows = run.est;
+    }
+    if (!ready.empty())
+      run.op = std::make_unique<FilterOp>(std::move(run.op), std::move(ready),
+                                          ctx);
+  };
+
+  auto make_scan = [&](PatternState& ps, const ScanChoice* choice)
+      -> std::unique_ptr<Operator> {
+    if (choice != nullptr)
+      return std::make_unique<IndexScan>(store, ps.cp, width, choice->order,
+                                         choice->ordered_slot, stats);
+    return std::make_unique<IndexScan>(store, ps.cp, width, std::nullopt, -1,
+                                       stats);
+  };
+
+  // --- initial relation: the most selective pattern ---
+  size_t remaining = patterns.size();
+  if (!have_relation && remaining > 0) {
+    size_t best = 0;
+    for (size_t i = 1; i < patterns.size(); ++i)
+      if (patterns[i].out_est < patterns[best].out_est) best = i;
+    PatternState& ps = patterns[best];
+    const ScanChoice& c = ps.choices[ps.cheapest];
+    run.op = make_scan(ps, &c);
+    run.desc = LeafNode(PlanNode::Kind::kIndexScan,
+                        PatternLabel(ps, IndexOrderName(c.order)), ps.out_est);
+    run.est = ps.out_est;
+    run.ordered = c.ordered_slot;
+    run.bound.insert(ps.slots.begin(), ps.slots.end());
+    ps.joined = true;
+    --remaining;
+    have_relation = true;
+  }
+  if (!have_relation) {
+    // No patterns and no seeds: the BGP contributes the single empty row.
+    std::vector<Solution> one{Solution(width, kNullTermId)};
+    run.op = std::make_unique<SeedScan>(std::move(one), width);
+    run.desc = LeafNode(PlanNode::Kind::kSeed, "Seed(n=1)", 1);
+    run.est = 1;
+  }
+  attach_filters();
+
+  // --- greedy left-deep join of the remaining patterns ---
+  enum class Algo { kMerge, kBind, kHash };
+  while (remaining > 0) {
+    struct Candidate {
+      size_t pattern = 0;
+      Algo algo = Algo::kHash;
+      const ScanChoice* choice = nullptr;  // fixed-order scan (merge/hash)
+      double cost = 0;
+      size_t out = 0;
+      bool cross = false;
+      std::vector<int> shared;
+    };
+    bool any_shared = false;
+    for (const PatternState& ps : patterns) {
+      if (ps.joined) continue;
+      for (int slot : ps.slots)
+        if (run.bound.count(slot)) any_shared = true;
+    }
+    const double kL = static_cast<double>(run.est);
+    Candidate best;
+    bool have_best = false;
+    auto consider = [&](const Candidate& cand) {
+      // Prefer lower cost; break ties merge < bind < hash.
+      if (!have_best || cand.cost < best.cost - 1e-9 ||
+          (cand.cost < best.cost + 1e-9 &&
+           static_cast<int>(cand.algo) < static_cast<int>(best.algo))) {
+        best = cand;
+        have_best = true;
+      }
+    };
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      PatternState& ps = patterns[i];
+      if (ps.joined) continue;
+      std::vector<int> shared;
+      for (int slot : ps.slots)
+        if (run.bound.count(slot)) shared.push_back(slot);
+      if (shared.empty()) {
+        if (any_shared) continue;  // join connected patterns first
+        Candidate c;
+        c.pattern = i;
+        c.algo = Algo::kHash;
+        c.choice = &ps.choices[ps.cheapest];
+        c.out = SatMul(run.est, ps.out_est);
+        c.cost = kL + static_cast<double>(c.choice->range) +
+                 static_cast<double>(c.out);
+        c.cross = true;
+        consider(c);
+        continue;
+      }
+      const size_t out = JoinEst(run.est, ps.out_est);
+      // Hash join: build the pattern's cheapest range, probe the plan.
+      {
+        Candidate c;
+        c.pattern = i;
+        c.algo = Algo::kHash;
+        c.choice = &ps.choices[ps.cheapest];
+        c.out = out;
+        c.shared = shared;
+        c.cost = kL + static_cast<double>(c.choice->range) +
+                 static_cast<double>(out);
+        consider(c);
+      }
+      // Bind join: one index seek per plan row.
+      {
+        Candidate c;
+        c.pattern = i;
+        c.algo = Algo::kBind;
+        c.out = out;
+        c.shared = shared;
+        c.cost = kL * (1.0 + log_n) + static_cast<double>(out);
+        consider(c);
+      }
+      // Merge join: needs the plan and a scan ordered on a shared slot.
+      if (run.ordered >= 0 &&
+          std::count(shared.begin(), shared.end(), run.ordered) > 0) {
+        const ScanChoice* mc = nullptr;
+        for (const ScanChoice& sc : ps.choices) {
+          if (sc.ordered_slot != run.ordered) continue;
+          if (mc == nullptr || sc.range < mc->range) mc = &sc;
+        }
+        if (mc != nullptr) {
+          Candidate c;
+          c.pattern = i;
+          c.algo = Algo::kMerge;
+          c.choice = mc;
+          c.out = out;
+          c.shared = shared;
+          c.cost = kL + static_cast<double>(mc->range) +
+                   static_cast<double>(out);
+          consider(c);
+        }
+      }
+    }
+
+    PatternState& ps = patterns[best.pattern];
+    switch (best.algo) {
+      case Algo::kMerge: {
+        auto right = make_scan(ps, best.choice);
+        auto rdesc = LeafNode(PlanNode::Kind::kIndexScan,
+                              PatternLabel(ps, IndexOrderName(best.choice->order)),
+                              ps.out_est);
+        std::string label =
+            "MergeJoin(?" + ctx->vars.name(run.ordered) + ")";
+        run.desc = JoinNode(PlanNode::Kind::kMergeJoin, std::move(label),
+                            best.out, std::move(run.desc), std::move(rdesc));
+        run.op = std::make_unique<SortMergeJoin>(std::move(run.op),
+                                                 std::move(right), run.ordered);
+        // run.ordered stays: merge output is ordered on the key.
+        break;
+      }
+      case Algo::kBind: {
+        auto right = make_scan(ps, nullptr);
+        auto rdesc = LeafNode(PlanNode::Kind::kIndexScan,
+                              PatternLabel(ps, "auto"), ps.out_est);
+        std::string label =
+            "BindJoin(" + SlotList(best.shared, ctx->vars) + ")";
+        run.desc = JoinNode(PlanNode::Kind::kBindJoin, std::move(label),
+                            best.out, std::move(run.desc), std::move(rdesc));
+        run.op = std::make_unique<BindJoin>(std::move(run.op),
+                                            std::move(right));
+        // BindJoin preserves the outer order; run.ordered unchanged.
+        break;
+      }
+      case Algo::kHash: {
+        auto build = make_scan(ps, best.choice);
+        auto bdesc = LeafNode(PlanNode::Kind::kIndexScan,
+                              PatternLabel(ps, IndexOrderName(best.choice->order)),
+                              ps.out_est);
+        std::string label =
+            best.cross ? "HashJoin(cross)"
+                       : "HashJoin(" + SlotList(best.shared, ctx->vars) + ")";
+        run.desc = JoinNode(PlanNode::Kind::kHashJoin, std::move(label),
+                            best.out, std::move(run.desc), std::move(bdesc));
+        run.op = std::make_unique<HashJoin>(std::move(run.op),
+                                            std::move(build), best.shared);
+        // HashJoin preserves the probe (plan) order; run.ordered unchanged.
+        break;
+      }
+    }
+    run.est = best.out;
+    run.bound.insert(ps.slots.begin(), ps.slots.end());
+    ps.joined = true;
+    --remaining;
+    attach_filters();
+  }
+
+  // Filters the plan could not prove bound (e.g. variables bound only in
+  // some seed rows) attach at the top in lenient mode: evaluated only on
+  // rows that bind all their variables, passing otherwise. This matches
+  // the legacy evaluator's apply-when-ready semantics.
+  {
+    std::vector<FilterOp::Condition> lenient;
+    for (CompiledFilter& cf : filters) {
+      if (cf.attached) continue;
+      cf.attached = true;
+      lenient.push_back({cf.expr, cf.slots});
+      run.desc = MakePlanNode(
+          PlanNode::Kind::kFilter,
+          "Filter(" + SerializeExpr(cf.expr) + ") [if-bound]",
+          std::move(run.desc));
+      run.desc->est_rows = run.est;
+    }
+    if (!lenient.empty())
+      run.op = std::make_unique<FilterOp>(std::move(run.op),
+                                          std::move(lenient), ctx);
+  }
+
+  Plan plan;
+  plan.desc = std::move(run.desc);
+  plan.exec = std::move(run.op);
+  plan.width = width;
+  plan.est_rows = run.est;
+  return plan;
+}
+
+}  // namespace kgnet::sparql

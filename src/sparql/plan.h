@@ -1,0 +1,91 @@
+// Cost-based physical planning for basic graph patterns.
+//
+// For every triple pattern the planner enumerates the three permutation-
+// index scans (cost = index range size, output order = the first free key
+// position after the bound prefix), then greedily builds a left-deep join
+// tree. At each step it joins the cheapest remaining pattern using the
+// cheapest applicable algorithm:
+//
+//   SortMergeJoin  when the running plan and one of the pattern's scans
+//                  stream in the same shared-variable order,
+//   BindJoin       (index nested-loop, seeking the inner index once per
+//                  outer row) when the running plan is small,
+//   HashJoin       as the general fallback; with no shared variables it
+//                  degenerates to a cross product.
+//
+// FILTER expressions attach at the lowest operator where all of their
+// variables are bound. Plan::ToString() renders the chosen tree, which is
+// what QueryEngine::Explain() surfaces and tests assert on.
+#ifndef KGNET_SPARQL_PLAN_H_
+#define KGNET_SPARQL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparql/exec.h"
+
+namespace kgnet::sparql {
+
+/// One node of the plan description tree (the EXPLAIN rendering).
+struct PlanNode {
+  enum class Kind {
+    kSeed,
+    kIndexScan,
+    kMergeJoin,
+    kHashJoin,
+    kBindJoin,
+    kFilter,
+    kProject,
+    kLimit,
+  };
+  Kind kind = Kind::kIndexScan;
+  /// The rendered operator, e.g. "MergeJoin(?x)" or
+  /// "IndexScan[pos] ?x <p> <o>".
+  std::string label;
+  /// Planner estimate of this operator's output rows.
+  size_t est_rows = 0;
+  std::vector<std::unique_ptr<PlanNode>> children;
+};
+
+/// Allocates a unary wrapper node (used for Project / Limit rendering).
+std::unique_ptr<PlanNode> MakePlanNode(PlanNode::Kind kind, std::string label,
+                                       std::unique_ptr<PlanNode> child);
+
+/// Renders `root` as an indented tree, one operator per line:
+///   MergeJoin(?x) est=100
+///     IndexScan[pos] ?x a <T> est=100
+///     IndexScan[pos] ?x <color> <c1> est=50
+std::string RenderPlanTree(const PlanNode& root);
+
+/// A compiled physical plan: the executable operator tree plus the
+/// description tree it was built from.
+struct Plan {
+  std::unique_ptr<PlanNode> desc;
+  std::unique_ptr<Operator> exec;
+  /// Solution width (ctx->vars.size() when the plan was built).
+  size_t width = 0;
+  /// Planner estimate of the result cardinality.
+  size_t est_rows = 0;
+
+  std::string ToString() const {
+    return desc ? RenderPlanTree(*desc) : std::string();
+  }
+};
+
+/// Compiles the BGP + FILTERs of `gp` into a streaming plan.
+///
+/// `seeds` supplies starting solutions (sub-SELECT rows or an OPTIONAL's
+/// outer row); pass nullptr — or a single all-unbound row — to start from
+/// scratch. The seed vector must outlive the returned plan. New variables
+/// are registered in ctx->vars; every IndexScan reports into `stats`.
+/// Filters whose variables the plan cannot prove bound attach at the top
+/// in lenient mode (evaluated only on rows binding all their variables),
+/// matching the legacy evaluator's apply-when-ready semantics.
+Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
+                           const std::vector<Solution>* seeds,
+                           ExecStats* stats);
+
+}  // namespace kgnet::sparql
+
+#endif  // KGNET_SPARQL_PLAN_H_

@@ -1,0 +1,524 @@
+// Randomized differential harness for the streaming executor.
+//
+// Each seeded case generates a random graph and a random query mixing
+// BGP joins, FILTERs, OPTIONAL groups and LIMIT/OFFSET, then checks that
+// the engine's row multiset matches a deliberately naive brute-force
+// reference evaluator (nested loops over the full triple list, no
+// indexes, no planner). Both executor modes are checked: kStreaming
+// against the oracle and against kMaterialized, so a divergence pins the
+// bug to the new operator tree rather than to shared helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sparql/engine.h"
+#include "tensor/rng.h"
+
+namespace kgnet::sparql {
+namespace {
+
+using rdf::Term;
+
+// ------------------------------------------------------ reference model --
+
+/// A term as the reference sees it: an IRI or a literal lexical form.
+struct RTerm {
+  bool iri = true;
+  std::string lex;
+
+  bool operator==(const RTerm& o) const {
+    return iri == o.iri && lex == o.lex;
+  }
+  bool operator<(const RTerm& o) const {
+    return std::tie(iri, lex) < std::tie(o.iri, o.lex);
+  }
+};
+
+struct RTriple {
+  RTerm s, p, o;
+  bool operator<(const RTriple& t) const {
+    return std::tie(s, p, o) < std::tie(t.s, t.p, t.o);
+  }
+};
+
+/// A pattern position: a variable name or a constant.
+struct RNode {
+  bool is_var = false;
+  std::string var;
+  RTerm term;
+
+  static RNode Var(std::string v) {
+    RNode n;
+    n.is_var = true;
+    n.var = std::move(v);
+    return n;
+  }
+  static RNode Const(RTerm t) {
+    RNode n;
+    n.term = std::move(t);
+    return n;
+  }
+};
+
+struct RPattern {
+  RNode s, p, o;
+};
+
+enum class ROp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct RFilter {
+  ROp op;
+  RNode lhs, rhs;  // variables or constants
+};
+
+using Binding = std::map<std::string, RTerm>;
+
+bool TryDouble(const RTerm& t, double* out) {
+  // Mirrors Term::AsDouble: literals whose full lexical form parses.
+  if (t.iri || t.lex.empty()) return false;
+  const char* begin = t.lex.data();
+  const char* end = begin + t.lex.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Mirrors the engine's comparison semantics (EvalExpr in exec.cc):
+/// numeric when both sides parse as numbers, otherwise kind-aware
+/// lexical comparison.
+bool RefCompare(ROp op, const RTerm& l, const RTerm& r) {
+  double ld, rd;
+  int cmp;
+  if (TryDouble(l, &ld) && TryDouble(r, &rd)) {
+    cmp = ld < rd ? -1 : (ld > rd ? 1 : 0);
+  } else {
+    if (l.iri != r.iri && (op == ROp::kEq || op == ROp::kNe))
+      return op == ROp::kNe;
+    int c = l.lex.compare(r.lex);
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case ROp::kEq:
+      return cmp == 0;
+    case ROp::kNe:
+      return cmp != 0;
+    case ROp::kLt:
+      return cmp < 0;
+    case ROp::kLe:
+      return cmp <= 0;
+    case ROp::kGt:
+      return cmp > 0;
+    case ROp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+const RTerm* ResolveRef(const RNode& n, const Binding& b) {
+  if (!n.is_var) return &n.term;
+  auto it = b.find(n.var);
+  return it == b.end() ? nullptr : &it->second;
+}
+
+bool MatchPosition(const RNode& n, const RTerm& value, Binding* b) {
+  if (!n.is_var) return n.term == value;
+  auto it = b->find(n.var);
+  if (it != b->end()) return it->second == value;
+  b->emplace(n.var, value);
+  return true;
+}
+
+std::vector<Binding> RefEvalBgp(const std::vector<RPattern>& patterns,
+                                const std::vector<RTriple>& facts,
+                                std::vector<Binding> sols) {
+  for (const RPattern& pat : patterns) {
+    std::vector<Binding> next;
+    for (const Binding& sol : sols) {
+      for (const RTriple& f : facts) {
+        Binding ext = sol;
+        if (MatchPosition(pat.s, f.s, &ext) &&
+            MatchPosition(pat.p, f.p, &ext) &&
+            MatchPosition(pat.o, f.o, &ext))
+          next.push_back(std::move(ext));
+      }
+    }
+    sols = std::move(next);
+  }
+  return sols;
+}
+
+/// Full reference evaluation: BGP, then filters (all their variables are
+/// core BGP variables, so they are always bound), then OPTIONAL left
+/// joins.
+std::vector<Binding> RefEval(const std::vector<RPattern>& patterns,
+                             const std::vector<RFilter>& filters,
+                             const std::vector<RPattern>& optionals,
+                             const std::vector<RTriple>& facts) {
+  std::vector<Binding> sols = RefEvalBgp(patterns, facts, {Binding{}});
+  std::vector<Binding> filtered;
+  for (const Binding& sol : sols) {
+    bool pass = true;
+    for (const RFilter& f : filters) {
+      const RTerm* l = ResolveRef(f.lhs, sol);
+      const RTerm* r = ResolveRef(f.rhs, sol);
+      if (l == nullptr || r == nullptr) continue;  // never-ready: ignored
+      if (!RefCompare(f.op, *l, *r)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) filtered.push_back(sol);
+  }
+  sols = std::move(filtered);
+  for (const RPattern& opt : optionals) {
+    std::vector<Binding> joined;
+    for (const Binding& sol : sols) {
+      std::vector<Binding> ext = RefEvalBgp({opt}, facts, {sol});
+      if (ext.empty())
+        joined.push_back(sol);
+      else
+        joined.insert(joined.end(), ext.begin(), ext.end());
+    }
+    sols = std::move(joined);
+  }
+  return sols;
+}
+
+// -------------------------------------------------------- case generator --
+
+std::string NodeSparql(const RNode& n) {
+  if (n.is_var) return "?" + n.var;
+  if (n.term.iri) return "<" + n.term.lex + ">";
+  return n.term.lex;  // numeric literal
+}
+
+const char* OpSparql(ROp op) {
+  switch (op) {
+    case ROp::kEq:
+      return "=";
+    case ROp::kNe:
+      return "!=";
+    case ROp::kLt:
+      return "<";
+    case ROp::kLe:
+      return "<=";
+    case ROp::kGt:
+      return ">";
+    case ROp::kGe:
+      return ">=";
+  }
+  return "=";
+}
+
+struct Case {
+  std::vector<RTriple> facts;
+  std::vector<RPattern> patterns;
+  std::vector<RFilter> filters;
+  std::vector<RPattern> optionals;
+  int64_t limit = -1;
+  int64_t offset = 0;
+  std::string sparql;
+};
+
+/// Feature toggles so each TEST below emphasizes one query shape while
+/// all of them share the generator.
+struct GenOptions {
+  bool filters = false;
+  bool optionals = false;
+  bool modifiers = false;  // LIMIT / OFFSET
+};
+
+Case GenerateCase(tensor::Rng* rng, const GenOptions& opts) {
+  Case c;
+  const int nodes = 4 + static_cast<int>(rng->NextUint(10));
+  const int preds = 2 + static_cast<int>(rng->NextUint(3));
+  const int ntrip = 15 + static_cast<int>(rng->NextUint(45));
+
+  auto node = [&](int i) {
+    return RTerm{true, "n" + std::to_string(i)};
+  };
+  auto pred = [&](int i) {
+    return RTerm{true, "p" + std::to_string(i)};
+  };
+
+  std::set<RTriple> fact_set;
+  for (int i = 0; i < ntrip; ++i) {
+    fact_set.insert({node(static_cast<int>(rng->NextUint(nodes))),
+                     pred(static_cast<int>(rng->NextUint(preds))),
+                     node(static_cast<int>(rng->NextUint(nodes)))});
+  }
+  // Half the cases also carry a numeric attribute for range filters.
+  const bool with_ranks = rng->NextFloat() < 0.5f;
+  if (with_ranks) {
+    for (int i = 0; i < nodes; ++i)
+      fact_set.insert({node(i), RTerm{true, "rank"},
+                       RTerm{false, std::to_string(rng->NextUint(10))}});
+  }
+  c.facts.assign(fact_set.begin(), fact_set.end());
+
+  // Core BGP: 1-3 patterns over a small variable pool; constant
+  // predicates except for an occasional variable-predicate pattern.
+  const char* pool[] = {"a", "b", "c"};
+  const int npat = 1 + static_cast<int>(rng->NextUint(3));
+  bool used_var_pred = false;
+  std::set<std::string> node_vars;
+  for (int i = 0; i < npat; ++i) {
+    RPattern pat;
+    if (rng->NextFloat() < 0.7f) {
+      std::string v = pool[rng->NextUint(3)];
+      pat.s = RNode::Var(v);
+      node_vars.insert(v);
+    } else {
+      pat.s = RNode::Const(node(static_cast<int>(rng->NextUint(nodes))));
+    }
+    if (!used_var_pred && rng->NextFloat() < 0.1f) {
+      pat.p = RNode::Var("pp");
+      used_var_pred = true;
+    } else {
+      pat.p = RNode::Const(pred(static_cast<int>(rng->NextUint(preds))));
+    }
+    if (rng->NextFloat() < 0.6f) {
+      std::string v = pool[rng->NextUint(3)];
+      pat.o = RNode::Var(v);
+      node_vars.insert(v);
+    } else {
+      pat.o = RNode::Const(node(static_cast<int>(rng->NextUint(nodes))));
+    }
+    c.patterns.push_back(std::move(pat));
+  }
+
+  if (opts.filters && !node_vars.empty() && rng->NextFloat() < 0.8f) {
+    std::vector<std::string> vars(node_vars.begin(), node_vars.end());
+    if (with_ranks && rng->NextFloat() < 0.5f) {
+      // Numeric range filter over a rank attribute of a bound variable.
+      std::string v = vars[rng->NextUint(vars.size())];
+      RPattern rank_pat;
+      rank_pat.s = RNode::Var(v);
+      rank_pat.p = RNode::Const(RTerm{true, "rank"});
+      rank_pat.o = RNode::Var("r");
+      c.patterns.push_back(std::move(rank_pat));
+      const ROp ops[] = {ROp::kLt, ROp::kLe, ROp::kGt, ROp::kGe,
+                         ROp::kEq, ROp::kNe};
+      RFilter f;
+      f.op = ops[rng->NextUint(6)];
+      f.lhs = RNode::Var("r");
+      f.rhs = RNode::Const(
+          RTerm{false, std::to_string(rng->NextUint(10))});
+      c.filters.push_back(std::move(f));
+    } else if (vars.size() >= 2 && rng->NextFloat() < 0.4f) {
+      RFilter f;
+      f.op = rng->NextFloat() < 0.5f ? ROp::kEq : ROp::kNe;
+      f.lhs = RNode::Var(vars[0]);
+      f.rhs = RNode::Var(vars[1]);
+      c.filters.push_back(std::move(f));
+    } else {
+      RFilter f;
+      f.op = rng->NextFloat() < 0.5f ? ROp::kEq : ROp::kNe;
+      f.lhs = RNode::Var(vars[rng->NextUint(vars.size())]);
+      f.rhs = RNode::Const(node(static_cast<int>(rng->NextUint(nodes))));
+      c.filters.push_back(std::move(f));
+    }
+  }
+
+  if (opts.optionals && !node_vars.empty() && rng->NextFloat() < 0.7f) {
+    std::vector<std::string> vars(node_vars.begin(), node_vars.end());
+    RPattern opt;
+    opt.s = RNode::Var(vars[rng->NextUint(vars.size())]);
+    opt.p = RNode::Const(pred(static_cast<int>(rng->NextUint(preds))));
+    opt.o = rng->NextFloat() < 0.7f
+                ? RNode::Var("x")
+                : RNode::Const(node(static_cast<int>(rng->NextUint(nodes))));
+    c.optionals.push_back(std::move(opt));
+  }
+
+  if (opts.modifiers) {
+    if (rng->NextFloat() < 0.7f)
+      c.limit = 1 + static_cast<int64_t>(rng->NextUint(8));
+    if (rng->NextFloat() < 0.3f)
+      c.offset = static_cast<int64_t>(rng->NextUint(4));
+  }
+
+  std::string q = "SELECT * WHERE { ";
+  for (const RPattern& p : c.patterns)
+    q += NodeSparql(p.s) + " " + NodeSparql(p.p) + " " + NodeSparql(p.o) +
+         " . ";
+  for (const RFilter& f : c.filters)
+    q += "FILTER(" + NodeSparql(f.lhs) + " " + OpSparql(f.op) + " " +
+         NodeSparql(f.rhs) + ") ";
+  for (const RPattern& p : c.optionals)
+    q += "OPTIONAL { " + NodeSparql(p.s) + " " + NodeSparql(p.p) + " " +
+         NodeSparql(p.o) + " . } ";
+  q += "}";
+  if (c.limit >= 0) q += " LIMIT " + std::to_string(c.limit);
+  if (c.offset > 0) q += " OFFSET " + std::to_string(c.offset);
+  c.sparql = q;
+  return c;
+}
+
+// ------------------------------------------------------------ comparison --
+
+/// Engine rows rendered as comparable string tuples, sorted.
+std::vector<std::vector<std::string>> EngineRows(const QueryResult& r) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : r.rows) {
+    std::vector<std::string> cells;
+    for (const Term& t : row)
+      cells.push_back((t.is_iri() ? "i:" : "l:") + t.lexical);
+    rows.push_back(std::move(cells));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Reference bindings rendered against the engine's column list.
+std::vector<std::vector<std::string>> RefRows(
+    const std::vector<Binding>& sols, const std::vector<std::string>& cols) {
+  std::vector<std::vector<std::string>> rows;
+  for (const Binding& sol : sols) {
+    std::vector<std::string> cells;
+    for (const std::string& col : cols) {
+      auto it = sol.find(col);
+      if (it == sol.end()) {
+        cells.push_back("l:");  // unbound projects as an empty literal
+      } else {
+        cells.push_back((it->second.iri ? "i:" : "l:") + it->second.lex);
+      }
+    }
+    rows.push_back(std::move(cells));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// True when `sub` is a sub-multiset of `full` (both sorted).
+bool IsSubMultiset(const std::vector<std::vector<std::string>>& sub,
+                   const std::vector<std::vector<std::string>>& full) {
+  size_t j = 0;
+  for (const auto& row : sub) {
+    while (j < full.size() && full[j] < row) ++j;
+    if (j >= full.size() || full[j] != row) return false;
+    ++j;
+  }
+  return true;
+}
+
+void RunSeeds(uint64_t first_seed, int count, const GenOptions& opts) {
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = first_seed + static_cast<uint64_t>(i);
+    tensor::Rng rng(seed);
+    Case c = GenerateCase(&rng, opts);
+
+    rdf::TripleStore store;
+    for (const RTriple& f : c.facts) {
+      auto to_term = [](const RTerm& t) {
+        return t.iri ? Term::Iri(t.lex)
+                     : Term::TypedLiteral(
+                           t.lex, "http://www.w3.org/2001/XMLSchema#integer");
+      };
+      store.Insert(to_term(f.s), to_term(f.p), to_term(f.o));
+    }
+
+    QueryEngine engine(&store);
+    engine.set_exec_mode(ExecMode::kStreaming);
+    auto streamed = engine.ExecuteString(c.sparql);
+    ASSERT_TRUE(streamed.ok())
+        << streamed.status() << "\nseed=" << seed << "\n" << c.sparql;
+    engine.set_exec_mode(ExecMode::kMaterialized);
+    auto legacy = engine.ExecuteString(c.sparql);
+    ASSERT_TRUE(legacy.ok())
+        << legacy.status() << "\nseed=" << seed << "\n" << c.sparql;
+
+    std::vector<Binding> oracle =
+        RefEval(c.patterns, c.filters, c.optionals, c.facts);
+    auto engine_rows = EngineRows(*streamed);
+    auto legacy_rows = EngineRows(*legacy);
+    auto oracle_rows = RefRows(oracle, streamed->columns);
+
+    const size_t total = oracle_rows.size();
+    const size_t after_offset =
+        c.offset >= static_cast<int64_t>(total)
+            ? 0
+            : total - static_cast<size_t>(c.offset);
+    const size_t expected =
+        c.limit >= 0 ? std::min<size_t>(after_offset, c.limit) : after_offset;
+
+    ASSERT_EQ(engine_rows.size(), expected)
+        << "seed=" << seed << "\n" << c.sparql;
+    ASSERT_EQ(legacy_rows.size(), expected)
+        << "seed=" << seed << "\n" << c.sparql;
+    if (c.limit < 0 && c.offset == 0) {
+      // Full result: exact multiset equality, in both modes.
+      ASSERT_EQ(engine_rows, oracle_rows)
+          << "seed=" << seed << "\n" << c.sparql;
+      ASSERT_EQ(legacy_rows, oracle_rows)
+          << "seed=" << seed << "\n" << c.sparql;
+    } else {
+      // LIMIT/OFFSET may pick any rows, but only oracle rows.
+      ASSERT_TRUE(IsSubMultiset(engine_rows, oracle_rows))
+          << "seed=" << seed << "\n" << c.sparql;
+      ASSERT_TRUE(IsSubMultiset(legacy_rows, oracle_rows))
+          << "seed=" << seed << "\n" << c.sparql;
+    }
+  }
+}
+
+// Regression: a FILTER inside a nested group whose variable is bound by
+// only one UNION branch reaches the streaming planner through seed rows
+// with heterogeneous bindings. It must be applied leniently per row
+// (when the row binds the variable), exactly like the legacy evaluator —
+// not dropped.
+TEST(ExecOracleTest, FilterOnHeterogeneousSeedBindingsMatchesLegacy) {
+  rdf::TripleStore store;
+  store.InsertIris("n1", "p1", "n2");
+  store.InsertIris("n1", "p2", "x1");
+  store.InsertIris("n2", "p2", "good");
+  store.InsertIris("n2", "p2", "bad");
+  const std::string query =
+      "SELECT * WHERE { ?s <p1> ?o . "
+      "{ ?s <p2> ?x } UNION { ?o <p2> ?y } "
+      "{ ?s <p1> ?o . FILTER(?y = <good>) } UNION { ?s <p3> ?z } }";
+
+  QueryEngine engine(&store);
+  auto streamed = engine.ExecuteString(query);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  engine.set_exec_mode(ExecMode::kMaterialized);
+  auto legacy = engine.ExecuteString(query);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(EngineRows(*streamed), EngineRows(*legacy));
+  // ?y=<bad> fails the filter; ?y unbound (first branch) passes it.
+  EXPECT_EQ(streamed->NumRows(), 2u);
+}
+
+// 200 randomized cases total, weighted across the four query shapes the
+// streaming executor must get right.
+TEST(ExecOracleTest, BasicGraphPatternsMatchBruteForce) {
+  RunSeeds(1000, 60, GenOptions{});
+}
+
+TEST(ExecOracleTest, FiltersMatchBruteForce) {
+  GenOptions opts;
+  opts.filters = true;
+  RunSeeds(2000, 60, opts);
+}
+
+TEST(ExecOracleTest, OptionalsMatchBruteForce) {
+  GenOptions opts;
+  opts.filters = true;
+  opts.optionals = true;
+  RunSeeds(3000, 50, opts);
+}
+
+TEST(ExecOracleTest, LimitOffsetMatchBruteForce) {
+  GenOptions opts;
+  opts.filters = true;
+  opts.optionals = true;
+  opts.modifiers = true;
+  RunSeeds(4000, 30, opts);
+}
+
+}  // namespace
+}  // namespace kgnet::sparql

@@ -15,12 +15,28 @@ namespace {
 
 using workload::DblpSchema;
 
+// Debug (-O0) builds trim graph sizes, epochs and the accuracy bars so
+// this slow-labeled suite stays under ~3 s in a developer loop; optimized
+// builds (NDEBUG, e.g. the default RelWithDebInfo tier-1 run) keep the
+// paper-faithful assertions. (ROADMAP open item "test_gml_models cost".)
+#ifdef NDEBUG
+constexpr bool kOptimizedBuild = true;
+#else
+constexpr bool kOptimizedBuild = false;
+#endif
+
+/// Full-strength accuracy bars apply only to optimized builds; Debug
+/// keeps a weaker better-than-chance check.
+double MinMetric(double release_bar, double debug_bar) {
+  return kOptimizedBuild ? release_bar : debug_bar;
+}
+
 /// Small DBLP KG with a strong planted venue/community signal.
 GraphData NcGraph(uint64_t seed = 7) {
   rdf::TripleStore store;
   workload::DblpOptions opts;
-  opts.num_papers = 240;
-  opts.num_authors = 120;
+  opts.num_papers = kOptimizedBuild ? 240 : 100;
+  opts.num_authors = kOptimizedBuild ? 120 : 60;
   opts.num_venues = 4;
   opts.num_affiliations = 8;
   opts.noise = 0.05;
@@ -40,8 +56,8 @@ GraphData NcGraph(uint64_t seed = 7) {
 GraphData LpGraph(uint64_t seed = 7) {
   rdf::TripleStore store;
   workload::DblpOptions opts;
-  opts.num_papers = 200;
-  opts.num_authors = 120;
+  opts.num_papers = kOptimizedBuild ? 200 : 100;
+  opts.num_authors = kOptimizedBuild ? 120 : 60;
   opts.num_venues = 4;
   opts.num_affiliations = 8;
   opts.noise = 0.05;
@@ -60,7 +76,7 @@ GraphData LpGraph(uint64_t seed = 7) {
 
 TrainConfig FastConfig() {
   TrainConfig c;
-  c.epochs = 30;
+  c.epochs = kOptimizedBuild ? 30 : 15;
   c.hidden_dim = 16;
   c.embed_dim = 16;
   c.patience = 30;
@@ -172,7 +188,8 @@ TEST_P(NodeClassifierTest, LearnsPlantedVenueSignal) {
   TrainReport report;
   Status st = (*model)->Train(g, FastConfig(), &report);
   ASSERT_TRUE(st.ok()) << st;
-  EXPECT_GT(report.metric, GetParam().min_accuracy)
+  // Debug bar: strictly above the 4-class chance level (~0.25).
+  EXPECT_GT(report.metric, MinMetric(GetParam().min_accuracy, 0.27))
       << GmlMethodName(GetParam().method) << " test accuracy too low";
   EXPECT_GT(report.epochs_run, 0u);
   EXPECT_GT(report.train_seconds, 0.0);
@@ -237,13 +254,13 @@ TEST_P(LinkPredictorTest, BeatsRandomRanking) {
   auto model = MakeLinkPredictor(GetParam().method);
   ASSERT_TRUE(model.ok()) << model.status();
   TrainConfig c = FastConfig();
-  c.epochs = 25;
+  c.epochs = kOptimizedBuild ? 25 : 10;
   c.lr = 0.05f;
   TrainReport report;
   Status st = (*model)->Train(g, c, &report);
   ASSERT_TRUE(st.ok()) << st;
   // Random ranking against 100 candidates gives Hits@10 ~= 0.10.
-  EXPECT_GT(report.metric, GetParam().min_hits10)
+  EXPECT_GT(report.metric, MinMetric(GetParam().min_hits10, 0.12))
       << GmlMethodName(GetParam().method) << " Hits@10 too low";
   EXPECT_GT(report.mrr, 0.0);
   // Scores are finite and usable for ranking.
@@ -311,7 +328,7 @@ TEST(LinkPredictorTest, RanksImproveWithTraining) {
   {
     KgeModel model(KgeScore::kTransE);
     TrainConfig c1 = c;
-    c1.epochs = 30;
+    c1.epochs = kOptimizedBuild ? 30 : 12;
     c1.lr = 0.05f;
     ASSERT_TRUE(model.Train(g, c1, &trained).ok());
   }
