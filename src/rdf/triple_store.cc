@@ -15,16 +15,13 @@ struct KeyLess {
     auto kb = Permute(order, b);
     return ka < kb;
   }
+  // Derived from IndexOrderPositions so the two stay consistent by
+  // construction (seek/sort keys and the planner's ordered-slot logic
+  // must agree on every permutation).
   static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t) {
-    switch (order) {
-      case IndexOrder::kSpo:
-        return {t.s, t.p, t.o};
-      case IndexOrder::kPos:
-        return {t.p, t.o, t.s};
-      case IndexOrder::kOsp:
-        return {t.o, t.s, t.p};
-    }
-    return {0, 0, 0};
+    const std::array<int, 3> positions = IndexOrderPositions(order);
+    auto at = [&](int pos) { return pos == 0 ? t.s : (pos == 1 ? t.p : t.o); };
+    return {at(positions[0]), at(positions[1]), at(positions[2])};
   }
 };
 
@@ -38,6 +35,12 @@ const char* IndexOrderName(IndexOrder order) {
       return "pos";
     case IndexOrder::kOsp:
       return "osp";
+    case IndexOrder::kPso:
+      return "pso";
+    case IndexOrder::kOps:
+      return "ops";
+    case IndexOrder::kSop:
+      return "sop";
   }
   return "?";
 }
@@ -50,14 +53,19 @@ std::array<int, 3> IndexOrderPositions(IndexOrder order) {
       return {1, 2, 0};
     case IndexOrder::kOsp:
       return {2, 0, 1};
+    case IndexOrder::kPso:
+      return {1, 0, 2};
+    case IndexOrder::kOps:
+      return {2, 1, 0};
+    case IndexOrder::kSop:
+      return {0, 2, 1};
   }
   return {0, 1, 2};
 }
 
 TripleStore::TripleStore() {
-  spo_.order = IndexOrder::kSpo;
-  pos_.order = IndexOrder::kPos;
-  osp_.order = IndexOrder::kOsp;
+  for (int i = 0; i < kNumIndexOrders; ++i)
+    indexes_[i].order = static_cast<IndexOrder>(i);
 }
 
 std::array<TermId, 3> TripleStore::Permute(IndexOrder order, const Triple& t) {
@@ -66,15 +74,12 @@ std::array<TermId, 3> TripleStore::Permute(IndexOrder order, const Triple& t) {
 
 Triple TripleStore::Unpermute(IndexOrder order,
                               const std::array<TermId, 3>& k) {
-  switch (order) {
-    case IndexOrder::kSpo:
-      return Triple(k[0], k[1], k[2]);
-    case IndexOrder::kPos:
-      return Triple(k[2], k[0], k[1]);
-    case IndexOrder::kOsp:
-      return Triple(k[1], k[2], k[0]);
-  }
-  return Triple();
+  // Inverse of Permute: key slot i holds triple position
+  // IndexOrderPositions(order)[i].
+  std::array<TermId, 3> spo = {0, 0, 0};
+  const std::array<int, 3> positions = IndexOrderPositions(order);
+  for (int i = 0; i < 3; ++i) spo[positions[i]] = k[i];
+  return Triple(spo[0], spo[1], spo[2]);
 }
 
 bool TripleStore::Insert(const Triple& t) {
@@ -95,13 +100,13 @@ bool TripleStore::InsertIris(std::string_view s, std::string_view p,
 
 void TripleStore::FlushInserts() const {
   if (pending_.empty()) return;
-  for (Index* idx : {&spo_, &pos_, &osp_}) {
-    size_t old_size = idx->rows.size();
-    idx->rows.insert(idx->rows.end(), pending_.begin(), pending_.end());
-    KeyLess less{idx->order};
-    std::sort(idx->rows.begin() + old_size, idx->rows.end(), less);
-    std::inplace_merge(idx->rows.begin(), idx->rows.begin() + old_size,
-                       idx->rows.end(), less);
+  for (Index& idx : indexes_) {
+    size_t old_size = idx.rows.size();
+    idx.rows.insert(idx.rows.end(), pending_.begin(), pending_.end());
+    KeyLess less{idx.order};
+    std::sort(idx.rows.begin() + old_size, idx.rows.end(), less);
+    std::inplace_merge(idx.rows.begin(), idx.rows.begin() + old_size,
+                       idx.rows.end(), less);
   }
   pending_.clear();
 }
@@ -111,10 +116,10 @@ bool TripleStore::Erase(const Triple& t) {
   if (it == membership_.end()) return false;
   membership_.erase(it);
   FlushInserts();
-  for (Index* idx : {&spo_, &pos_, &osp_}) {
-    KeyLess less{idx->order};
-    auto range = std::equal_range(idx->rows.begin(), idx->rows.end(), t, less);
-    idx->rows.erase(range.first, range.second);
+  for (Index& idx : indexes_) {
+    KeyLess less{idx.order};
+    auto range = std::equal_range(idx.rows.begin(), idx.rows.end(), t, less);
+    idx.rows.erase(range.first, range.second);
   }
   return true;
 }
@@ -176,12 +181,14 @@ void TripleStore::ScanIndex(const Index& idx, const TriplePattern& pattern,
 }
 
 IndexOrder TripleStore::ChooseIndex(const TriplePattern& pattern) {
-  // Pick the index whose permuted key has the longest bound prefix.
+  // Pick an index whose permuted key has the longest bound prefix. Every
+  // bound combination has a full-prefix index; ties keep the classical
+  // SPO/POS/OSP trio for stable plan rendering.
   const bool s = pattern.s != kNullTermId;
   const bool p = pattern.p != kNullTermId;
   const bool o = pattern.o != kNullTermId;
   if (s) {
-    // (s,?,?), (s,p,?), (s,p,o) -> SPO; (s,?,o) -> OSP
+    // (s,?,?), (s,p,?), (s,p,o) -> SPO; (s,?,o) -> OSP (prefix o,s)
     return (o && !p) ? IndexOrder::kOsp : IndexOrder::kSpo;
   }
   if (p) return IndexOrder::kPos;  // (?,p,?), (?,p,o)
@@ -190,15 +197,7 @@ IndexOrder TripleStore::ChooseIndex(const TriplePattern& pattern) {
 }
 
 const TripleStore::Index& TripleStore::IndexFor(IndexOrder order) const {
-  switch (order) {
-    case IndexOrder::kSpo:
-      return spo_;
-    case IndexOrder::kPos:
-      return pos_;
-    case IndexOrder::kOsp:
-      return osp_;
-  }
-  return spo_;
+  return indexes_[static_cast<size_t>(order)];
 }
 
 void TripleStore::Scan(const TriplePattern& pattern,
@@ -257,33 +256,9 @@ size_t TripleStore::EstimateCardinality(const TriplePattern& pattern) const {
   const bool o = pattern.o != kNullTermId;
   if (s && p && o) return Contains(Triple(pattern.s, pattern.p, pattern.o)) ? 1 : 0;
   if (!s && !p && !o) return size();
-
-  const Index* idx = nullptr;
-  TermId k0 = kNullTermId, k1 = kNullTermId;
-  if (s && p) {
-    idx = &spo_;
-    k0 = pattern.s;
-    k1 = pattern.p;
-  } else if (p && o) {
-    idx = &pos_;
-    k0 = pattern.p;
-    k1 = pattern.o;
-  } else if (s && o) {
-    idx = &osp_;
-    k0 = pattern.o;
-    k1 = pattern.s;
-  } else if (s) {
-    idx = &spo_;
-    k0 = pattern.s;
-  } else if (p) {
-    idx = &pos_;
-    k0 = pattern.p;
-  } else {
-    idx = &osp_;
-    k0 = pattern.o;
-  }
-  auto [lo, hi] = PrefixRange(*idx, k0, k1);
-  return hi - lo;
+  // ChooseIndex covers every partially-bound pattern with a full-prefix
+  // index, so the range size is the exact cardinality.
+  return EstimateRange(ChooseIndex(pattern), pattern);
 }
 
 size_t TripleStore::size() const {
@@ -295,7 +270,7 @@ size_t TripleStore::NumDistinctSubjects() const {
   size_t n = 0;
   TermId prev = kNullTermId;
   bool first = true;
-  for (const Triple& t : spo_.rows) {
+  for (const Triple& t : IndexFor(IndexOrder::kSpo).rows) {
     if (first || t.s != prev) {
       ++n;
       prev = t.s;
@@ -310,7 +285,7 @@ size_t TripleStore::NumDistinctPredicates() const {
   size_t n = 0;
   TermId prev = kNullTermId;
   bool first = true;
-  for (const Triple& t : pos_.rows) {
+  for (const Triple& t : IndexFor(IndexOrder::kPos).rows) {
     if (first || t.p != prev) {
       ++n;
       prev = t.p;
@@ -325,7 +300,7 @@ size_t TripleStore::NumDistinctObjects() const {
   size_t n = 0;
   TermId prev = kNullTermId;
   bool first = true;
-  for (const Triple& t : osp_.rows) {
+  for (const Triple& t : IndexFor(IndexOrder::kOsp).rows) {
     if (first || t.o != prev) {
       ++n;
       prev = t.o;

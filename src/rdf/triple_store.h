@@ -1,7 +1,8 @@
-// An in-memory dictionary-encoded triple store with three permuted indexes.
+// An in-memory dictionary-encoded triple store with six permuted indexes.
 #ifndef KGNET_RDF_TRIPLE_STORE_H_
 #define KGNET_RDF_TRIPLE_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -14,10 +15,18 @@
 
 namespace kgnet::rdf {
 
-/// Which of the three collation orders an index stores.
-enum class IndexOrder { kSpo, kPos, kOsp };
+/// Which of the six collation orders an index stores. All permutations of
+/// (s, p, o) are kept, so every combination of bound positions has an
+/// index whose seekable prefix covers it AND every triple position can
+/// stream in sorted order under any single bound position — e.g. kPso
+/// streams subjects in order within one predicate, the case merge joins
+/// on subject-position join variables need.
+enum class IndexOrder { kSpo, kPos, kOsp, kPso, kOps, kSop };
 
-/// Lower-case index name ("spo", "pos", "osp") for plan rendering.
+/// Number of IndexOrder values (= permutations of three positions).
+inline constexpr int kNumIndexOrders = 6;
+
+/// Lower-case index name ("spo", "pos", ..., "sop") for plan rendering.
 const char* IndexOrderName(IndexOrder order);
 
 /// The triple positions (0 = s, 1 = p, 2 = o) occupying each key slot of
@@ -58,12 +67,14 @@ class TripleCursor {
 
 /// An in-memory triple store.
 ///
-/// Triples are dictionary-encoded (see Dictionary) and maintained in three
-/// sorted permutation indexes — SPO, POS and OSP — mirroring the layout of
-/// classical RDF engines (RDF-3X, Virtuoso). Lookups with any combination of
-/// bound positions are answered by a binary-searched range scan on the most
-/// selective index. Inserts are buffered and merged lazily so that bulk
-/// loading stays O(n log n).
+/// Triples are dictionary-encoded (see Dictionary) and maintained in all
+/// six sorted permutation indexes — SPO, POS, OSP, PSO, OPS and SOP —
+/// mirroring the layout of full-permutation RDF engines (RDF-3X). The
+/// cost is 6x the raw triple storage (up from 3x with the classical
+/// SPO/POS/OSP trio), bought so that every (bound positions -> stream
+/// order) lookup is a binary-searched prefix range instead of a full
+/// scan. Inserts are buffered and merged lazily so that bulk loading
+/// stays O(n log n).
 ///
 /// The store is single-writer; readers must not run concurrently with
 /// mutation (the KGNet pipeline is phase-structured, so this suffices).
@@ -106,8 +117,8 @@ class TripleStore {
   size_t Count(const TriplePattern& pattern) const;
 
   /// O(log n) cardinality estimate for a pattern; used by the SPARQL
-  /// optimizer. Exact for fully-bound/unbound patterns and for (s,p,?),
-  /// (?,p,o), (s,?,?), (?,?,o), (?,p,?) prefixes of an index.
+  /// optimizer. With all six permutation indexes every bound combination
+  /// is a full index prefix, so the estimate is exact for every pattern.
   size_t EstimateCardinality(const TriplePattern& pattern) const;
 
   /// Opens a streaming cursor over `pattern` on the index with collation
@@ -158,9 +169,7 @@ class TripleStore {
                  const std::function<bool(const Triple&)>& fn) const;
 
   Dictionary dict_;
-  mutable Index spo_;
-  mutable Index pos_;
-  mutable Index osp_;
+  mutable std::array<Index, kNumIndexOrders> indexes_;
   mutable std::vector<Triple> pending_;
   mutable std::unordered_set<Triple, TripleHash> membership_;
 };

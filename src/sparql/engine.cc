@@ -260,8 +260,7 @@ Result<std::vector<Term>> ProjectRow(const std::vector<SelectItem>& items,
   return row;
 }
 
-/// Wraps the WHERE-clause plan in Project/Limit nodes and renders it,
-/// noting any materialized UNION/OPTIONAL stages.
+/// Wraps the WHERE-clause plan in Project/Limit nodes and renders it.
 std::string DescribePlan(std::unique_ptr<PlanNode> desc, const Query& query) {
   std::unique_ptr<PlanNode> root = std::move(desc);
   if (query.kind == QueryKind::kSelect) {
@@ -288,14 +287,7 @@ std::string DescribePlan(std::unique_ptr<PlanNode> desc, const Query& query) {
                           std::move(root));
     }
   }
-  std::string out = RenderPlanTree(*root);
-  if (!query.where.unions.empty())
-    out += "(+ " + std::to_string(query.where.unions.size()) +
-           " UNION chain(s), materialized)\n";
-  if (!query.where.optionals.empty())
-    out += "(+ " + std::to_string(query.where.optionals.size()) +
-           " OPTIONAL group(s), materialized)\n";
-  return out;
+  return RenderPlanTree(*root);
 }
 
 }  // namespace
@@ -312,7 +304,10 @@ std::string QueryResult::ToTable() const {
   for (size_t i = 0; i < columns.size(); ++i) width[i] = columns[i].size();
   for (const auto& row : rows) {
     std::vector<std::string> line;
-    for (size_t i = 0; i < row.size(); ++i) {
+    // A hand-built result may carry rows wider than `columns`; clamp so
+    // the width bookkeeping never indexes past the column count.
+    const size_t ncells = std::min(row.size(), columns.size());
+    for (size_t i = 0; i < ncells; ++i) {
       line.push_back(row[i].ToNTriples());
       width[i] = std::max(width[i], line.back().size());
     }
@@ -381,7 +376,7 @@ Result<std::string> QueryEngine::Explain(const Query& query) {
     if (pt.o.is_var) ctx.vars.SlotOf(pt.o.var);
   }
   ExecStats stats;
-  Plan plan = PlanBasicGraphPattern(query.where, &ctx, nullptr, &stats);
+  Plan plan = PlanGroupPattern(query.where, &ctx, nullptr, &stats);
   std::string out = DescribePlan(std::move(plan.desc), query);
   if (!query.where.subselects.empty())
     out += "(+ " + std::to_string(query.where.subselects.size()) +
@@ -439,15 +434,14 @@ Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
     if (pt.o.is_var) ctx.vars.SlotOf(pt.o.var);
   }
 
-  const bool simple =
-      query.where.unions.empty() && query.where.optionals.empty();
-
-  // 2a. Streaming fast path: SELECT/ASK over a plain BGP pulls rows out
-  // of the operator tree one at a time, so LIMIT (and ASK's first hit)
-  // stop the underlying scans early instead of materializing everything.
-  if (streaming && simple &&
+  // 2a. Streaming fast path: SELECT/ASK pulls rows out of the operator
+  // tree one at a time — UNION and OPTIONAL groups included, via the
+  // streaming UnionAll/LeftOuterJoin operators — so LIMIT (and ASK's
+  // first hit) stop the underlying scans early instead of materializing
+  // everything.
+  if (streaming &&
       (query.kind == QueryKind::kSelect || query.kind == QueryKind::kAsk)) {
-    Plan plan = PlanBasicGraphPattern(query.where, &ctx, &seeds, &stats);
+    Plan plan = PlanGroupPattern(query.where, &ctx, &seeds, &stats);
     if (info != nullptr) {
       // DescribePlan consumes the description tree; render it up front.
       info->plan = DescribePlan(std::move(plan.desc), query);
@@ -484,8 +478,9 @@ Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
     return result;
   }
 
-  // 2b. Materialized path: UNION/OPTIONAL structure, updates, or the
-  // legacy executor. Each inner BGP still streams when in streaming mode.
+  // 2b. Materialized path: updates (which need the full solution set
+  // before mutating the store) or the legacy executor. Each inner BGP
+  // still streams when in streaming mode.
   std::vector<Solution> solutions;
   KGNET_RETURN_IF_ERROR(EvalGroup(query.where, &ctx, std::move(seeds),
                                   &solutions, streaming, &stats));

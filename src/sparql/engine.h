@@ -50,8 +50,8 @@ enum class ExecMode {
 /// counters (tests assert that LIMIT short-circuits rows_scanned).
 struct ExecInfo {
   /// Rendered operator tree of the WHERE clause. Only populated on the
-  /// streaming SELECT/ASK fast path; empty in kMaterialized mode and for
-  /// queries that take the materialized UNION/OPTIONAL/update path.
+  /// streaming SELECT/ASK path (UNION/OPTIONAL included); empty in
+  /// kMaterialized mode and for updates.
   std::string plan;
   /// Matching triples pulled out of index cursors across the whole query.
   size_t rows_scanned = 0;
@@ -60,13 +60,13 @@ struct ExecInfo {
 /// Executes SPARQL queries against a single TripleStore.
 ///
 /// Basic graph patterns are compiled by a cost-based planner into a
-/// streaming operator tree (IndexScan over the sorted SPO/POS/OSP
-/// permutation indexes, SortMergeJoin when both inputs stream in the same
-/// shared-variable order, BindJoin for selective outers, HashJoin as the
-/// fallback). FILTERs apply at the lowest operator where every variable
-/// they mention is bound; SELECT/ASK results stream, so LIMIT queries
-/// stop scanning early. UNION and OPTIONAL groups are evaluated per the
-/// legacy materialized structure with each inner BGP streamed.
+/// streaming operator tree (IndexScan over the six sorted permutation
+/// indexes, SortMergeJoin when both inputs stream in the same
+/// shared-variable order, BindJoin for selective outers, a lazily-built
+/// symmetric HashJoin as the fallback). FILTERs apply at the lowest
+/// operator where every variable they mention is bound; SELECT/ASK
+/// results stream — UNION and OPTIONAL groups included, via UnionAll and
+/// LeftOuterJoin operators — so LIMIT queries stop scanning early.
 class QueryEngine {
  public:
   explicit QueryEngine(rdf::TripleStore* store) : store_(store) {}

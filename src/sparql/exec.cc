@@ -296,39 +296,54 @@ uint64_t HashJoin::KeyOf(const Solution& row) const {
 }
 
 void HashJoin::Open(const Solution& outer) {
-  table_.clear();
-  bucket_ = nullptr;
-  bpos_ = 0;
-  build_->Open(outer);
-  Solution row;
-  while (build_->Next(&row)) table_[KeyOf(row)].push_back(row);
-  if (!build_->status().ok()) {
-    status_ = build_->status();
-    return;
-  }
+  ptable_.clear();
+  btable_.clear();
+  pending_.clear();
+  out_pos_ = 0;
+  probe_done_ = build_done_ = false;
+  turn_probe_ = true;
   probe_->Open(outer);
+  build_->Open(outer);
 }
 
 bool HashJoin::Next(Solution* row) {
-  if (!status_.ok()) return false;
   for (;;) {
-    if (bucket_ != nullptr) {
-      while (bpos_ < bucket_->size()) {
-        const Solution& b = (*bucket_)[bpos_++];
-        row->resize(prow_.size());
-        if (MergeRows(prow_, b, row)) return true;
+    if (out_pos_ < pending_.size()) {
+      *row = std::move(pending_[out_pos_++]);
+      return true;
+    }
+    pending_.clear();
+    out_pos_ = 0;
+    if (!status_.ok()) return false;
+    if (probe_done_ && build_done_) return false;
+    // Pull one row, alternating sides while both are live so neither
+    // input is materialized ahead of need.
+    const bool take_probe = build_done_ || (!probe_done_ && turn_probe_);
+    turn_probe_ = !turn_probe_;
+    Operator* src = take_probe ? probe_.get() : build_.get();
+    Solution r;
+    if (!src->Next(&r)) {
+      if (!src->status().ok()) {
+        status_ = src->status();
+        return false;
       }
-      bucket_ = nullptr;
+      (take_probe ? probe_done_ : build_done_) = true;
+      continue;
     }
-    if (!probe_->Next(&prow_)) {
-      if (!probe_->status().ok()) status_ = probe_->status();
-      return false;
+    const uint64_t key = KeyOf(r);
+    auto& other = take_probe ? btable_ : ptable_;
+    auto it = other.find(key);
+    if (it != other.end()) {
+      for (const Solution& o : it->second) {
+        Solution out(r.size());
+        if (MergeRows(r, o, &out)) pending_.push_back(std::move(out));
+      }
     }
-    auto it = table_.find(KeyOf(prow_));
-    if (it != table_.end()) {
-      bucket_ = &it->second;
-      bpos_ = 0;
-    }
+    // Store the row only while the other side can still probe it: once
+    // one input is exhausted, the survivor's rows have already seen every
+    // partner, so keeping them would just materialize the larger input.
+    if (!(take_probe ? build_done_ : probe_done_))
+      (take_probe ? ptable_ : btable_)[key].push_back(std::move(r));
   }
 }
 
@@ -351,6 +366,60 @@ bool BindJoin::Next(Solution* row) {
     lvalid_ = left_->Next(&lrow_);
     if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
     if (lvalid_) right_->Open(lrow_);
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- UnionAll --
+
+void UnionAll::Open(const Solution& outer) {
+  outer_ = outer;
+  cur_ = 0;
+  if (!children_.empty()) children_[0]->Open(outer_);
+}
+
+bool UnionAll::Next(Solution* row) {
+  while (cur_ < children_.size()) {
+    Operator* child = children_[cur_].get();
+    if (child->Next(row)) return true;
+    if (!child->status().ok()) {
+      status_ = child->status();
+      return false;
+    }
+    if (++cur_ < children_.size()) children_[cur_]->Open(outer_);
+  }
+  return false;
+}
+
+// --------------------------------------------------------- LeftOuterJoin --
+
+void LeftOuterJoin::Open(const Solution& outer) {
+  left_->Open(outer);
+  lvalid_ = left_->Next(&lrow_);
+  if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
+  matched_ = false;
+  if (lvalid_) right_->Open(lrow_);
+}
+
+bool LeftOuterJoin::Next(Solution* row) {
+  while (lvalid_ && status_.ok()) {
+    if (right_->Next(row)) {
+      matched_ = true;
+      return true;
+    }
+    if (!right_->status().ok()) {
+      status_ = right_->status();
+      return false;
+    }
+    // Right side exhausted for this left row: emit it bare if nothing
+    // matched, then advance the left side either way.
+    const bool emit_bare = !matched_;
+    if (emit_bare) *row = lrow_;
+    lvalid_ = left_->Next(&lrow_);
+    if (!lvalid_ && !left_->status().ok()) status_ = left_->status();
+    matched_ = false;
+    if (lvalid_) right_->Open(lrow_);
+    if (emit_bare) return true;
   }
   return false;
 }

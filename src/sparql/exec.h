@@ -5,8 +5,10 @@
 // solution row (a slot -> TermId vector), so work proceeds lazily and a
 // LIMIT at the top of the tree stops the index scans underneath after
 // just enough rows. IndexScan streams one TripleStore permutation-index
-// range in sorted order; SortMergeJoin exploits that order; HashJoin and
-// BindJoin (index nested-loop) cover the unordered cases.
+// range in sorted order; SortMergeJoin exploits that order; HashJoin
+// (symmetric, lazily-built) and BindJoin (index nested-loop) cover the
+// unordered cases; UnionAll and LeftOuterJoin stream UNION and OPTIONAL
+// groups without materializing between stages.
 //
 // This header also hosts the evaluation helpers shared with the engine's
 // projection/filter code: the variable table, compiled patterns and the
@@ -209,9 +211,15 @@ class SortMergeJoin : public Operator {
   bool matching_ = false;
 };
 
-/// Hash join: materializes the build side into a hash table at Open(),
-/// then streams the probe side. The probe side's order is preserved, so
-/// ordered_slot passes through. An empty key set degenerates to a cross
+/// Hash join with a lazily-drained build side (symmetric hash join).
+/// Instead of materializing the whole build input at Open(), Next() pulls
+/// one row at a time, alternating between the two inputs; each new row is
+/// hashed into its side's table and probed against the other side's, so
+/// every matching pair is emitted exactly once — when the later of its
+/// two rows arrives. A LIMIT above therefore stops *both* scans early,
+/// where the old eager build always paid for its full index range. The
+/// price is that output interleaves the two sides, so the stream is
+/// unordered (ordered_slot -1). An empty key set degenerates to a cross
 /// product (single bucket).
 class HashJoin : public Operator {
  public:
@@ -223,7 +231,6 @@ class HashJoin : public Operator {
 
   void Open(const Solution& outer) override;
   bool Next(Solution* row) override;
-  int ordered_slot() const override { return probe_->ordered_slot(); }
 
  private:
   /// FNV-1a over the key slot ids. A (vanishingly rare) collision merges
@@ -233,10 +240,11 @@ class HashJoin : public Operator {
 
   std::unique_ptr<Operator> probe_, build_;
   std::vector<int> key_slots_;
-  std::unordered_map<uint64_t, std::vector<Solution>> table_;
-  Solution prow_;
-  const std::vector<Solution>* bucket_ = nullptr;
-  size_t bpos_ = 0;
+  std::unordered_map<uint64_t, std::vector<Solution>> ptable_, btable_;
+  std::vector<Solution> pending_;  // merged rows awaiting emission
+  size_t out_pos_ = 0;
+  bool probe_done_ = false, build_done_ = false;
+  bool turn_probe_ = true;
 };
 
 /// Index nested-loop join: re-opens the inner side (an IndexScan in
@@ -255,6 +263,47 @@ class BindJoin : public Operator {
   std::unique_ptr<Operator> left_, right_;
   Solution lrow_;
   bool lvalid_ = false;
+};
+
+/// Concatenates its children's streams: all rows of child 0, then child 1,
+/// and so on. Every child is (re)opened with the same outer row, so a
+/// UnionAll used as the inner side of a BindJoin replays every UNION
+/// alternative once per outer row — the streaming form of the engine's
+/// dependent-union semantics.
+class UnionAll : public Operator {
+ public:
+  explicit UnionAll(std::vector<std::unique_ptr<Operator>> children)
+      : children_(std::move(children)) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+
+ private:
+  std::vector<std::unique_ptr<Operator>> children_;
+  Solution outer_;
+  size_t cur_ = 0;
+};
+
+/// Streaming OPTIONAL: an index-nested-loop left-outer join. The right
+/// side is re-opened once per left row with that row's bindings pushed
+/// into its seek prefixes (like BindJoin); when it yields no extension,
+/// the bare left row is emitted instead of being dropped. Preserves the
+/// left side's order.
+class LeftOuterJoin : public Operator {
+ public:
+  LeftOuterJoin(std::unique_ptr<Operator> left,
+                std::unique_ptr<Operator> right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  void Open(const Solution& outer) override;
+  bool Next(Solution* row) override;
+  int ordered_slot() const override { return left_->ordered_slot(); }
+
+ private:
+  std::unique_ptr<Operator> left_, right_;
+  Solution lrow_;
+  bool lvalid_ = false;
+  bool matched_ = false;
 };
 
 /// Streams child rows that satisfy every attached FILTER expression. The

@@ -16,6 +16,7 @@ class Parser {
   Result<Query> Parse() {
     Query q;
     KGNET_RETURN_IF_ERROR(ParsePrologue(&q));
+    if (Peek().kind == TokenKind::kEof) return Err("empty query");
     const Token& t = Peek();
     if (t.IsKeyword("SELECT")) {
       KGNET_RETURN_IF_ERROR(ParseSelect(&q));
@@ -38,11 +39,19 @@ class Parser {
   }
 
  private:
+  // Peek/Next never run off the token vector, even if it is empty or
+  // lacks a trailing kEof (the lexer appends one, but the parser must not
+  // rely on it — indexing toks_.back() on an empty vector, or the
+  // toks_.size() - 1 underflow, was UB).
   const Token& Peek(size_t ahead = 0) const {
     size_t i = pos_ + ahead;
-    return i < toks_.size() ? toks_[i] : toks_.back();
+    return i < toks_.size() ? toks_[i] : eof_;
   }
-  const Token& Next() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
   bool Accept(std::string_view punct) {
     if (Peek().IsPunct(punct)) {
       Next();
@@ -446,6 +455,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  Token eof_;  // fallback when toks_ is empty / exhausted (kind == kEof)
 };
 
 }  // namespace

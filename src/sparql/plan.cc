@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -49,7 +50,7 @@ struct PatternState {
   const PatternTriple* src = nullptr;
   CompiledPattern cp;
   TriplePattern consts;  // constant positions only, variables open
-  std::array<ScanChoice, 3> choices;
+  std::array<ScanChoice, rdf::kNumIndexOrders> choices;
   int cheapest = 0;       // index into `choices` with the smallest range
   size_t out_est = 0;     // estimated matching triples
   std::vector<int> slots;  // distinct variable slots
@@ -178,11 +179,9 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       if (slot >= 0) slot_set.insert(slot);
     }
     ps.slots.assign(slot_set.begin(), slot_set.end());
-    const IndexOrder orders[3] = {IndexOrder::kSpo, IndexOrder::kPos,
-                                  IndexOrder::kOsp};
-    for (int i = 0; i < 3; ++i) {
+    for (int i = 0; i < rdf::kNumIndexOrders; ++i) {
       ScanChoice& c = ps.choices[i];
-      c.order = orders[i];
+      c.order = static_cast<IndexOrder>(i);
       c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
       auto positions = IndexOrderPositions(c.order);
       c.ordered_slot = -1;
@@ -195,7 +194,33 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
           break;
         }
       }
-      if (c.range < ps.choices[ps.cheapest].range) ps.cheapest = i;
+    }
+  }
+
+  // Slots appearing in more than one pattern: candidate merge-join keys.
+  std::set<int> join_slots;
+  {
+    std::map<int, int> uses;
+    for (const PatternState& ps : patterns)
+      for (int slot : ps.slots) ++uses[slot];
+    for (const auto& [slot, n] : uses)
+      if (n > 1) join_slots.insert(slot);
+  }
+
+  // Cheapest scan per pattern; among equal ranges prefer one streaming in
+  // join-variable order, so the initial scan can feed a SortMergeJoin —
+  // with six permutations there is an ordered option for every position
+  // (e.g. PSO for a subject-position join variable under a bound
+  // predicate, which previously needed a full SPO scan).
+  for (PatternState& ps : patterns) {
+    for (int i = 1; i < rdf::kNumIndexOrders; ++i) {
+      const ScanChoice& c = ps.choices[i];
+      const ScanChoice& best = ps.choices[ps.cheapest];
+      if (c.range < best.range ||
+          (c.range == best.range && join_slots.count(c.ordered_slot) > 0 &&
+           join_slots.count(best.ordered_slot) == 0)) {
+        ps.cheapest = i;
+      }
     }
   }
 
@@ -429,7 +454,9 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                             best.out, std::move(run.desc), std::move(bdesc));
         run.op = std::make_unique<HashJoin>(std::move(run.op),
                                             std::move(build), best.shared);
-        // HashJoin preserves the probe (plan) order; run.ordered unchanged.
+        // The symmetric hash join interleaves its two inputs, so the
+        // running plan loses any streaming order here.
+        run.ordered = -1;
         break;
       }
     }
@@ -466,6 +493,87 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
   plan.exec = std::move(run.op);
   plan.width = width;
   plan.est_rows = run.est;
+  return plan;
+}
+
+namespace {
+
+size_t SatAdd(size_t a, size_t b) {
+  return a > kMaxEst - std::min(b, kMaxEst) ? kMaxEst : a + b;
+}
+
+/// Registers every variable the group tree mentions, in the same order
+/// the materialized evaluator would encounter them (patterns, filters,
+/// union alternatives, optionals — depth first), so SELECT * column
+/// order and solution widths match across executor modes.
+void RegisterGroupVars(const GraphPattern& gp, EvalContext* ctx) {
+  for (const auto& pt : gp.triples) {
+    if (pt.s.is_var) ctx->vars.SlotOf(pt.s.var);
+    if (pt.p.is_var) ctx->vars.SlotOf(pt.p.var);
+    if (pt.o.is_var) ctx->vars.SlotOf(pt.o.var);
+  }
+  for (const auto& f : gp.filters) {
+    std::set<std::string> names;
+    CollectExprVars(f, &names);
+    for (const auto& n : names) ctx->vars.SlotOf(n);
+  }
+  for (const auto& alternatives : gp.unions)
+    for (const auto& alt : alternatives) RegisterGroupVars(alt, ctx);
+  for (const auto& opt : gp.optionals) RegisterGroupVars(opt, ctx);
+}
+
+Plan BuildGroupPlan(const GraphPattern& gp, EvalContext* ctx,
+                    const std::vector<Solution>* seeds, ExecStats* stats) {
+  Plan run = PlanBasicGraphPattern(gp, ctx, seeds, stats);
+
+  // UNION chains: the running plan drives every alternative per row; a
+  // row multiplies by its matching alternatives (and drops when none
+  // match), so a BindJoin over a UnionAll of the branch plans reproduces
+  // the materialized semantics while streaming.
+  for (const auto& alternatives : gp.unions) {
+    std::vector<std::unique_ptr<Operator>> branches;
+    auto unode = std::make_unique<PlanNode>();
+    unode->kind = PlanNode::Kind::kUnion;
+    unode->label =
+        "Union(" + std::to_string(alternatives.size()) + " branches)";
+    unode->children.push_back(std::move(run.desc));
+    size_t est = 0;
+    for (const GraphPattern& alt : alternatives) {
+      Plan branch = BuildGroupPlan(alt, ctx, nullptr, stats);
+      est = SatAdd(est, JoinEst(run.est_rows, branch.est_rows));
+      branches.push_back(std::move(branch.exec));
+      unode->children.push_back(std::move(branch.desc));
+    }
+    unode->est_rows = est;
+    run.exec = std::make_unique<BindJoin>(
+        std::move(run.exec), std::make_unique<UnionAll>(std::move(branches)));
+    run.desc = std::move(unode);
+    run.est_rows = est;
+  }
+
+  // OPTIONAL groups: a streaming left-outer join per group.
+  for (const GraphPattern& opt : gp.optionals) {
+    Plan inner = BuildGroupPlan(opt, ctx, nullptr, stats);
+    const size_t est =
+        std::max(run.est_rows, JoinEst(run.est_rows, inner.est_rows));
+    run.desc = JoinNode(PlanNode::Kind::kLeftJoin, "LeftJoin(optional)", est,
+                        std::move(run.desc), std::move(inner.desc));
+    run.exec = std::make_unique<LeftOuterJoin>(std::move(run.exec),
+                                               std::move(inner.exec));
+    run.est_rows = est;
+  }
+  return run;
+}
+
+}  // namespace
+
+Plan PlanGroupPattern(const GraphPattern& gp, EvalContext* ctx,
+                      const std::vector<Solution>* seeds, ExecStats* stats) {
+  // Fix the solution width before any operator is built: sub-plans of
+  // nested groups must all agree on it.
+  RegisterGroupVars(gp, ctx);
+  Plan plan = BuildGroupPlan(gp, ctx, seeds, stats);
+  plan.width = ctx->vars.size();
   return plan;
 }
 

@@ -1,16 +1,20 @@
 // Cost-based physical planning for basic graph patterns.
 //
-// For every triple pattern the planner enumerates the three permutation-
+// For every triple pattern the planner enumerates all six permutation-
 // index scans (cost = index range size, output order = the first free key
 // position after the bound prefix), then greedily builds a left-deep join
-// tree. At each step it joins the cheapest remaining pattern using the
-// cheapest applicable algorithm:
+// tree. Equal-cost scans prefer streaming in join-variable order, so a
+// subject-position join variable under an unbound predicate rides the PSO
+// index instead of forcing a full SPO scan. At each step the planner
+// joins the cheapest remaining pattern using the cheapest applicable
+// algorithm:
 //
 //   SortMergeJoin  when the running plan and one of the pattern's scans
 //                  stream in the same shared-variable order,
 //   BindJoin       (index nested-loop, seeking the inner index once per
 //                  outer row) when the running plan is small,
-//   HashJoin       as the general fallback; with no shared variables it
+//   HashJoin       as the general fallback (symmetric, lazily built, so
+//                  its output is unordered); with no shared variables it
 //                  degenerates to a cross product.
 //
 // FILTER expressions attach at the lowest operator where all of their
@@ -35,6 +39,8 @@ struct PlanNode {
     kMergeJoin,
     kHashJoin,
     kBindJoin,
+    kUnion,
+    kLeftJoin,
     kFilter,
     kProject,
     kLimit,
@@ -85,6 +91,23 @@ struct Plan {
 Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                            const std::vector<Solution>* seeds,
                            ExecStats* stats);
+
+/// Compiles a *full* group pattern — BGP + FILTERs, then UNION chains,
+/// then OPTIONAL groups, recursively — into one streaming plan, so those
+/// groups no longer materialize between stages:
+///
+///   Union(n)         the outer plan drives a UnionAll of the branch
+///                    plans, re-opened once per outer row (dependent
+///                    union, matching the legacy evaluator's semantics);
+///   LeftJoin(optional)  streams the optional group per outer row,
+///                    emitting the bare outer row when nothing matches.
+///
+/// Every variable of the whole group tree is registered in ctx->vars up
+/// front so all sub-plans share one final solution width. Nested
+/// sub-SELECTs inside UNION/OPTIONAL groups are ignored, exactly like the
+/// materialized evaluator (only top-level sub-SELECTs seed the query).
+Plan PlanGroupPattern(const GraphPattern& gp, EvalContext* ctx,
+                      const std::vector<Solution>* seeds, ExecStats* stats);
 
 }  // namespace kgnet::sparql
 

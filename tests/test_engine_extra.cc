@@ -73,6 +73,22 @@ TEST_F(EngineExtraTest, ColumnIndexAndToTable) {
   EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);  // header + 3
 }
 
+// Regression: a hand-built QueryResult whose rows are wider than its
+// column list used to write past the per-column width array in
+// ToTable(); extra cells must be clamped away instead.
+TEST(QueryResultTest, ToTableClampsRowsWiderThanColumns) {
+  QueryResult r;
+  r.columns = {"a", "b"};
+  r.rows.push_back({rdf::Term::Literal("one"), rdf::Term::Literal("two"),
+                    rdf::Term::Literal("overflow")});
+  r.rows.push_back({rdf::Term::Literal("shorty")});
+  const std::string table = r.ToTable();
+  EXPECT_NE(table.find("one"), std::string::npos);
+  EXPECT_NE(table.find("two"), std::string::npos);
+  EXPECT_EQ(table.find("overflow"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 3);  // header + 2
+}
+
 TEST_F(EngineExtraTest, FilterChainAndNot) {
   auto r = engine_.ExecuteString(
       "SELECT ?n WHERE { ?n <http://x/rank> ?v . "

@@ -1,7 +1,8 @@
 // Randomized differential harness for the streaming executor.
 //
 // Each seeded case generates a random graph and a random query mixing
-// BGP joins, FILTERs, OPTIONAL groups and LIMIT/OFFSET, then checks that
+// BGP joins, FILTERs, UNION chains, OPTIONAL groups and LIMIT/OFFSET,
+// then checks that
 // the engine's row multiset matches a deliberately naive brute-force
 // reference evaluator (nested loops over the full triple list, no
 // indexes, no planner). Both executor modes are checked: kStreaming
@@ -152,10 +153,13 @@ std::vector<Binding> RefEvalBgp(const std::vector<RPattern>& patterns,
 }
 
 /// Full reference evaluation: BGP, then filters (all their variables are
-/// core BGP variables, so they are always bound), then OPTIONAL left
-/// joins.
+/// core BGP variables, so they are always bound), then dependent UNION
+/// chains (each solution multiplies by its matching alternatives and is
+/// dropped when none match), then OPTIONAL left joins — mirroring the
+/// engine's group-evaluation order.
 std::vector<Binding> RefEval(const std::vector<RPattern>& patterns,
                              const std::vector<RFilter>& filters,
+                             const std::vector<std::vector<RPattern>>& unions,
                              const std::vector<RPattern>& optionals,
                              const std::vector<RTriple>& facts) {
   std::vector<Binding> sols = RefEvalBgp(patterns, facts, {Binding{}});
@@ -174,6 +178,14 @@ std::vector<Binding> RefEval(const std::vector<RPattern>& patterns,
     if (pass) filtered.push_back(sol);
   }
   sols = std::move(filtered);
+  for (const std::vector<RPattern>& alternatives : unions) {
+    std::vector<Binding> merged;
+    for (const RPattern& alt : alternatives) {
+      std::vector<Binding> branch = RefEvalBgp({alt}, facts, sols);
+      merged.insert(merged.end(), branch.begin(), branch.end());
+    }
+    sols = std::move(merged);
+  }
   for (const RPattern& opt : optionals) {
     std::vector<Binding> joined;
     for (const Binding& sol : sols) {
@@ -218,6 +230,7 @@ struct Case {
   std::vector<RTriple> facts;
   std::vector<RPattern> patterns;
   std::vector<RFilter> filters;
+  std::vector<std::vector<RPattern>> unions;  // chains of alternatives
   std::vector<RPattern> optionals;
   int64_t limit = -1;
   int64_t offset = 0;
@@ -228,6 +241,7 @@ struct Case {
 /// all of them share the generator.
 struct GenOptions {
   bool filters = false;
+  bool unions = false;
   bool optionals = false;
   bool modifiers = false;  // LIMIT / OFFSET
 };
@@ -324,6 +338,31 @@ Case GenerateCase(tensor::Rng* rng, const GenOptions& opts) {
     }
   }
 
+  if (opts.unions && !node_vars.empty() && rng->NextFloat() < 0.8f) {
+    // One UNION chain of 2-3 single-pattern alternatives. Each branch
+    // shares a variable with the core BGP (so the chain is a dependent
+    // union) and may bind a branch-private variable — the heterogeneous
+    // case where some output rows leave slots unbound.
+    std::vector<std::string> vars(node_vars.begin(), node_vars.end());
+    const int nalts = 2 + (rng->NextFloat() < 0.3f ? 1 : 0);
+    std::vector<RPattern> alternatives;
+    for (int i = 0; i < nalts; ++i) {
+      RPattern alt;
+      alt.s = RNode::Var(vars[rng->NextUint(vars.size())]);
+      alt.p = RNode::Const(pred(static_cast<int>(rng->NextUint(preds))));
+      const float kind = rng->NextFloat();
+      if (kind < 0.4f) {
+        alt.o = RNode::Var("u" + std::to_string(i));  // branch-private
+      } else if (kind < 0.7f) {
+        alt.o = RNode::Var(vars[rng->NextUint(vars.size())]);
+      } else {
+        alt.o = RNode::Const(node(static_cast<int>(rng->NextUint(nodes))));
+      }
+      alternatives.push_back(std::move(alt));
+    }
+    c.unions.push_back(std::move(alternatives));
+  }
+
   if (opts.optionals && !node_vars.empty() && rng->NextFloat() < 0.7f) {
     std::vector<std::string> vars(node_vars.begin(), node_vars.end());
     RPattern opt;
@@ -349,6 +388,14 @@ Case GenerateCase(tensor::Rng* rng, const GenOptions& opts) {
   for (const RFilter& f : c.filters)
     q += "FILTER(" + NodeSparql(f.lhs) + " " + OpSparql(f.op) + " " +
          NodeSparql(f.rhs) + ") ";
+  for (const auto& alternatives : c.unions) {
+    for (size_t i = 0; i < alternatives.size(); ++i) {
+      if (i > 0) q += "UNION ";
+      const RPattern& p = alternatives[i];
+      q += "{ " + NodeSparql(p.s) + " " + NodeSparql(p.p) + " " +
+           NodeSparql(p.o) + " . } ";
+    }
+  }
   for (const RPattern& p : c.optionals)
     q += "OPTIONAL { " + NodeSparql(p.s) + " " + NodeSparql(p.p) + " " +
          NodeSparql(p.o) + " . } ";
@@ -433,7 +480,7 @@ void RunSeeds(uint64_t first_seed, int count, const GenOptions& opts) {
         << legacy.status() << "\nseed=" << seed << "\n" << c.sparql;
 
     std::vector<Binding> oracle =
-        RefEval(c.patterns, c.filters, c.optionals, c.facts);
+        RefEval(c.patterns, c.filters, c.unions, c.optionals, c.facts);
     auto engine_rows = EngineRows(*streamed);
     auto legacy_rows = EngineRows(*legacy);
     auto oracle_rows = RefRows(oracle, streamed->columns);
@@ -493,8 +540,10 @@ TEST(ExecOracleTest, FilterOnHeterogeneousSeedBindingsMatchesLegacy) {
   EXPECT_EQ(streamed->NumRows(), 2u);
 }
 
-// 200 randomized cases total, weighted across the four query shapes the
-// streaming executor must get right.
+// 300 randomized cases total, weighted across the query shapes the
+// streaming executor must get right. The random graphs and BGPs exercise
+// every bound-position combination, so the planner's scans cover all six
+// permutation indexes (spo/pos/osp/pso/ops/sop) in both executor modes.
 TEST(ExecOracleTest, BasicGraphPatternsMatchBruteForce) {
   RunSeeds(1000, 60, GenOptions{});
 }
@@ -512,12 +561,27 @@ TEST(ExecOracleTest, OptionalsMatchBruteForce) {
   RunSeeds(3000, 50, opts);
 }
 
+TEST(ExecOracleTest, UnionsMatchBruteForce) {
+  GenOptions opts;
+  opts.unions = true;
+  RunSeeds(5000, 50, opts);
+}
+
+TEST(ExecOracleTest, UnionsWithFiltersAndOptionalsMatchBruteForce) {
+  GenOptions opts;
+  opts.filters = true;
+  opts.unions = true;
+  opts.optionals = true;
+  RunSeeds(6000, 40, opts);
+}
+
 TEST(ExecOracleTest, LimitOffsetMatchBruteForce) {
   GenOptions opts;
   opts.filters = true;
+  opts.unions = true;
   opts.optionals = true;
   opts.modifiers = true;
-  RunSeeds(4000, 30, opts);
+  RunSeeds(4000, 40, opts);
 }
 
 }  // namespace

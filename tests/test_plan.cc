@@ -21,12 +21,14 @@ class PlanTest : public ::testing::Test {
       store_.InsertIris(s, std::string(rdf::kRdfType), "T");
       store_.InsertIris(s, "color", "c" + std::to_string(i % 4));
     }
-    // Chain data: u -> e0 -> v -> e1 -> w, both edge sets ~200 triples.
+    // Chain data: u -> e0 -> v -> e1 -> w -> e2 -> x, ~200 triples each.
     for (int i = 0; i < 200; ++i) {
       store_.InsertIris("u" + std::to_string(i % 50), "e0",
                         "v" + std::to_string((i * 7) % 60));
       store_.InsertIris("v" + std::to_string(i % 60), "e1",
                         "w" + std::to_string((i * 3) % 40));
+      store_.InsertIris("w" + std::to_string(i % 40), "e2",
+                        "x" + std::to_string((i * 11) % 30));
     }
   }
 
@@ -62,13 +64,32 @@ TEST_F(PlanTest, StarJoinUsesMergeJoinWhenOrdersAlign) {
   EXPECT_NE(plan.find("IndexScan["), std::string::npos) << plan;
 }
 
-TEST_F(PlanTest, ChainJoinFallsBackToHashJoin) {
-  // An object-subject chain: the right side could only stream ordered by
-  // ?b via a full SPO scan, which costs more than hashing the e1 range.
+TEST_F(PlanTest, ChainJoinStreamsMergeViaPsoIndex) {
+  // An object-subject chain. ?b sits in subject position of the second
+  // pattern with its predicate the only bound term; before the PSO index
+  // existed, streaming that side ordered by ?b needed a full SPO scan,
+  // forcing a HashJoin. Now the planner must ride PSO into a merge join.
   const std::string plan =
       Plan("SELECT ?a ?c WHERE { ?a <e0> ?b . ?b <e1> ?c . }");
+  EXPECT_NE(plan.find("MergeJoin(?b)"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("IndexScan[pso]"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("HashJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlanTest, ThreeChainTailFallsBackToHashJoin) {
+  // The middle and last hops merge on ?c (PSO again); the running plan
+  // then streams ordered by ?c, so the remaining hop's shared variable
+  // ?b cannot merge and hashes instead.
+  const std::string plan = Plan(
+      "SELECT ?a ?d WHERE { ?a <e0> ?b . ?b <e1> ?c . ?c <e2> ?d . }");
+  EXPECT_NE(plan.find("MergeJoin(?c)"), std::string::npos) << plan;
   EXPECT_NE(plan.find("HashJoin(?b)"), std::string::npos) << plan;
-  EXPECT_EQ(plan.find("MergeJoin"), std::string::npos) << plan;
+}
+
+TEST_F(PlanTest, DisconnectedPatternsUseCrossHashJoin) {
+  const std::string plan =
+      Plan("SELECT ?a ?x WHERE { ?a <e0> ?b . ?x <e2> ?y . }");
+  EXPECT_NE(plan.find("HashJoin(cross)"), std::string::npos) << plan;
 }
 
 TEST_F(PlanTest, SelectiveOuterUsesBindJoin) {
@@ -128,6 +149,51 @@ TEST_F(PlanTest, LimitZeroReturnsNoRows) {
   auto [rows, scanned] = Run("SELECT ?x WHERE { ?x a <T> . } LIMIT 0");
   EXPECT_EQ(rows, 0u);
   EXPECT_EQ(scanned, 0u);
+}
+
+TEST_F(PlanTest, LazyHashBuildShortCircuitsUnderLimit) {
+  // The three-hop chain ends in a HashJoin (see above). Its build side is
+  // pulled lazily (symmetric hash join), so a LIMIT above the join must
+  // stop the build-side scan early too, not just the probe.
+  const std::string query =
+      "SELECT ?a ?d WHERE { ?a <e0> ?b . ?b <e1> ?c . ?c <e2> ?d . }";
+  auto [full_rows, full_scanned] = Run(query);
+  auto [lim_rows, lim_scanned] = Run(query + " LIMIT 3");
+  ASSERT_GT(full_rows, 3u);
+  EXPECT_EQ(lim_rows, 3u);
+  EXPECT_LT(lim_scanned, full_scanned / 2) << "full=" << full_scanned
+                                           << " limited=" << lim_scanned;
+}
+
+TEST_F(PlanTest, UnionStreamsAsUnionAllNode) {
+  const std::string plan = Plan(
+      "SELECT ?s WHERE { { ?s a <T> . } UNION { ?s <color> <c1> . } }");
+  EXPECT_NE(plan.find("Union(2 branches)"), std::string::npos) << plan;
+  auto [rows, scanned] = Run(
+      "SELECT ?s WHERE { { ?s a <T> . } UNION { ?s <color> <c1> . } }");
+  (void)scanned;
+  EXPECT_EQ(rows, 125u);  // 100 typed + 25 color-c1
+}
+
+TEST_F(PlanTest, OptionalStreamsAsLeftJoinNode) {
+  const std::string plan = Plan(
+      "SELECT ?x ?c WHERE { ?x a <T> . OPTIONAL { ?x <color> ?c . } }");
+  EXPECT_NE(plan.find("LeftJoin(optional)"), std::string::npos) << plan;
+  auto [rows, scanned] = Run(
+      "SELECT ?x ?c WHERE { ?x a <T> . OPTIONAL { ?x <color> ?c . } }");
+  (void)scanned;
+  EXPECT_EQ(rows, 100u);  // every subject has exactly one color
+}
+
+TEST_F(PlanTest, StreamingUnionLimitShortCircuitsScans) {
+  const std::string query =
+      "SELECT ?s WHERE { { ?s a <T> . } UNION { ?s <color> <c1> . } }";
+  auto [full_rows, full_scanned] = Run(query);
+  auto [lim_rows, lim_scanned] = Run(query + " LIMIT 5");
+  EXPECT_EQ(full_rows, 125u);
+  EXPECT_EQ(lim_rows, 5u);
+  EXPECT_LT(lim_scanned, full_scanned / 2) << "full=" << full_scanned
+                                           << " limited=" << lim_scanned;
 }
 
 TEST_F(PlanTest, AskStopsAtFirstRow) {

@@ -150,6 +150,42 @@ TEST(ParserTest, RejectsGarbage) {
   EXPECT_FALSE(ParseQuery("FROB ?x").ok());
 }
 
+// Regression: an empty or whitespace-only query used to walk off the
+// token vector in Parser::Peek/Next (UB, crashed under ASan). It must be
+// a graceful parse error instead.
+TEST(ParserTest, EmptyQueryIsGracefulParseError) {
+  auto r = ParseQuery("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("empty query"), std::string::npos)
+      << r.status();
+}
+
+TEST(ParserTest, WhitespaceOnlyQueryIsGracefulParseError) {
+  for (const char* text : {" ", "\n\t  \r\n", "# just a comment\n",
+                           "PREFIX x: <http://x/>"}) {
+    auto r = ParseQuery(text);
+    ASSERT_FALSE(r.ok()) << "input: '" << text << "'";
+    EXPECT_NE(r.status().ToString().find("empty query"), std::string::npos)
+        << r.status();
+  }
+}
+
+TEST(ParserTest, TruncatedMidClauseQueriesFailCleanly) {
+  // Every prefix cut mid-clause must produce a parse error, never a
+  // crash or an accepted query.
+  for (const char* text :
+       {"SELECT", "SELECT ?x", "SELECT ?x WHERE", "SELECT ?x WHERE {",
+        "SELECT ?x WHERE { ?x", "SELECT ?x WHERE { ?x <p>",
+        "SELECT ?x WHERE { ?x <p> ?y", "SELECT ?x WHERE { ?x <p> ?y .",
+        "SELECT ?x WHERE { FILTER(?x =", "ASK {", "ASK { ?x",
+        "INSERT DATA {", "DELETE { ?x <p> ?y } WHERE",
+        "SELECT ?x WHERE { OPTIONAL {", "SELECT ?x WHERE { { ?x <p> ?y }",
+        "SELECT ?x WHERE { { ?x <p> ?y } UNION"}) {
+    auto r = ParseQuery(text);
+    EXPECT_FALSE(r.ok()) << "accepted truncated query: '" << text << "'";
+  }
+}
+
 // --------------------------------------------------------------- engine --
 
 class EngineTest : public ::testing::Test {

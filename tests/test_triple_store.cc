@@ -152,6 +152,100 @@ TEST_F(TripleStoreTest, InterleavedInsertEraseScan) {
   EXPECT_EQ(store_.Match(TriplePattern()).size(), 2u);
 }
 
+TEST_F(TripleStoreTest, AllSixIndexOrdersStreamSortedAndComplete) {
+  tensor::Rng rng(99);
+  for (int i = 0; i < 200; ++i)
+    Add("s" + std::to_string(rng.NextUint(15)),
+        "p" + std::to_string(rng.NextUint(4)),
+        "o" + std::to_string(rng.NextUint(20)));
+  const size_t total = store_.size();
+  for (int oi = 0; oi < kNumIndexOrders; ++oi) {
+    const IndexOrder order = static_cast<IndexOrder>(oi);
+    auto positions = IndexOrderPositions(order);
+    auto key_of = [&](const Triple& t) {
+      auto at = [&](int pos) { return pos == 0 ? t.s : (pos == 1 ? t.p : t.o); };
+      return std::array<TermId, 3>{at(positions[0]), at(positions[1]),
+                                   at(positions[2])};
+    };
+    TripleCursor c = store_.OpenCursor(order, TriplePattern());
+    Triple t, prev;
+    size_t n = 0;
+    bool first = true;
+    while (c.Next(&t)) {
+      if (!first) {
+        EXPECT_LE(key_of(prev), key_of(t)) << IndexOrderName(order);
+      }
+      prev = t;
+      first = false;
+      ++n;
+    }
+    EXPECT_EQ(n, total) << IndexOrderName(order);
+  }
+}
+
+TEST_F(TripleStoreTest, PsoStreamsSubjectsInOrderUnderBoundPredicate) {
+  // The motivating case for the second index trio: a bound predicate with
+  // the subject as the first free key position. PSO must answer it with a
+  // seekable range streaming subjects in sorted order (the merge-join
+  // input shape), and the range estimate must be exact.
+  for (int i = 0; i < 40; ++i) {
+    Add("s" + std::to_string(i % 10), "p0", "o" + std::to_string(i));
+    Add("s" + std::to_string(i % 10), "p1", "z" + std::to_string(i));
+  }
+  TriplePattern pat(0, store_.dict().FindIri("p0"), 0);
+  EXPECT_EQ(store_.EstimateRange(IndexOrder::kPso, pat),
+            store_.Count(pat));
+  TripleCursor c = store_.OpenCursor(IndexOrder::kPso, pat);
+  Triple t;
+  TermId prev_s = 0;
+  size_t n = 0;
+  while (c.Next(&t)) {
+    EXPECT_EQ(t.p, pat.p);
+    EXPECT_GE(t.s, prev_s);
+    prev_s = t.s;
+    ++n;
+  }
+  EXPECT_EQ(n, store_.Count(pat));
+}
+
+TEST_F(TripleStoreTest, OpsAndSopPrefixRangesAreExact) {
+  for (int i = 0; i < 60; ++i)
+    Add("s" + std::to_string(i % 6), "p" + std::to_string(i % 3),
+        "o" + std::to_string(i % 5));
+  const Dictionary& d = store_.dict();
+  // OPS: (?,p,o) is the two-term prefix (o,p); (?,?,o) the one-term o.
+  TriplePattern po(0, d.FindIri("p1"), d.FindIri("o2"));
+  EXPECT_EQ(store_.EstimateRange(IndexOrder::kOps, po), store_.Count(po));
+  TriplePattern o_only(0, 0, d.FindIri("o3"));
+  EXPECT_EQ(store_.EstimateRange(IndexOrder::kOps, o_only),
+            store_.Count(o_only));
+  // SOP: (s,?,o) is the two-term prefix (s,o); (s,?,?) the one-term s.
+  TriplePattern so(d.FindIri("s2"), 0, d.FindIri("o1"));
+  EXPECT_EQ(store_.EstimateRange(IndexOrder::kSop, so), store_.Count(so));
+  TriplePattern s_only(d.FindIri("s4"), 0, 0);
+  EXPECT_EQ(store_.EstimateRange(IndexOrder::kSop, s_only),
+            store_.Count(s_only));
+}
+
+TEST_F(TripleStoreTest, EraseRemovesFromAllSixIndexes) {
+  Add("a", "p", "x");
+  Add("b", "p", "x");
+  const Dictionary& d = store_.dict();
+  Triple t(d.FindIri("a"), d.FindIri("p"), d.FindIri("x"));
+  ASSERT_TRUE(store_.Erase(t));
+  Triple probe;
+  for (int oi = 0; oi < kNumIndexOrders; ++oi) {
+    TripleCursor c = store_.OpenCursor(static_cast<IndexOrder>(oi),
+                                       TriplePattern());
+    size_t n = 0;
+    while (c.Next(&probe)) {
+      EXPECT_FALSE(probe.s == t.s && probe.p == t.p && probe.o == t.o);
+      ++n;
+    }
+    EXPECT_EQ(n, 1u) << IndexOrderName(static_cast<IndexOrder>(oi));
+  }
+}
+
 /// Property test: Match() agrees with a naive scan-and-filter oracle on a
 /// randomized store, across all 8 bound/unbound pattern shapes.
 class TripleStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
