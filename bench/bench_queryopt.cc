@@ -10,6 +10,7 @@
 // legacy materializing nested-loop evaluator, and writes the timings to
 // BENCH_queryopt.json in the working directory.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -69,6 +70,106 @@ struct ShapeResult {
   size_t rows = 0;
   double speedup() const { return new_ms > 0 ? old_ms / new_ms : 0; }
 };
+
+struct MemoryConfigResult {
+  std::string name;
+  size_t index_bytes = 0;
+  double bytes_per_triple = 0;
+  double reduction_vs_flat6 = 0;  // flat six-order rows / these bytes
+  double star3_ms = 0;            // streaming time for the star3 shape
+};
+
+/// Part 3: index memory vs speed. Rebuilds the bench graph under several
+/// TripleStore configurations, reporting compressed index bytes/triple
+/// (against the 6 * sizeof(Triple) = 72 bytes/triple the flat six-order
+/// layout used to cost) next to the streaming time of the star3 shape.
+int RunIndexMemoryBench(kgnet::bench::ShapeChecker* shape,
+                        const kgnet::workload::DblpOptions& graph_opts,
+                        std::vector<MemoryConfigResult>* out) {
+  using namespace kgnet;
+  using IndexSet = rdf::TripleStore::Options::IndexSet;
+
+  const std::string px = "PREFIX dblp: <https://dblp.org/rdf/>\n";
+  const std::string star3 =
+      px + "SELECT ?p ?v ?a WHERE { ?p a dblp:Publication . "
+           "?p dblp:publishedIn ?v . ?p dblp:authoredBy ?a . }";
+  auto parsed = sparql::ParseQuery(star3);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Config {
+    const char* name;
+    rdf::TripleStore::Options opts;
+  };
+  const Config configs[] = {
+      {"all6_block128", {IndexSet::kAllSix, 128}},
+      {"all6_block16", {IndexSet::kAllSix, 16}},
+      {"all6_block1024", {IndexSet::kAllSix, 1024}},
+      {"trio_block128", {IndexSet::kClassicTrio, 128}},
+  };
+
+  std::printf("\nINDEX MEMORY vs SPEED (compressed permutation indexes)\n\n");
+  std::printf("%-16s %14s %14s %12s %12s\n", "config", "index bytes",
+              "bytes/triple", "vs flat 6x", "star3 (ms)");
+
+  std::array<size_t, rdf::kNumIndexOrders> default_order_bytes{};
+  for (const Config& cfg : configs) {
+    rdf::TripleStore store(cfg.opts);
+    if (!workload::GenerateDblp(graph_opts, &store).ok()) return 1;
+    store.FlushInserts();
+    const size_t triples = store.size();
+    const double raw = static_cast<double>(triples * sizeof(rdf::Triple));
+    const double flat6 = raw * rdf::kNumIndexOrders;
+    if (out->empty()) {  // first config = the default store
+      for (int oi = 0; oi < rdf::kNumIndexOrders; ++oi)
+        default_order_bytes[static_cast<size_t>(oi)] =
+            store.IndexBytes(static_cast<rdf::IndexOrder>(oi));
+    }
+
+    sparql::QueryEngine engine(&store);
+    auto [ms, rows] =
+        TimeQuery(&engine, *parsed, sparql::ExecMode::kStreaming, 5);
+    (void)rows;
+
+    MemoryConfigResult r;
+    r.name = cfg.name;
+    r.index_bytes = store.TotalIndexBytes();
+    r.bytes_per_triple =
+        static_cast<double>(r.index_bytes) / static_cast<double>(triples);
+    r.reduction_vs_flat6 = flat6 / static_cast<double>(r.index_bytes);
+    r.star3_ms = ms;
+    std::printf("%-16s %14zu %14.2f %11.2fx %12.3f\n", r.name.c_str(),
+                r.index_bytes, r.bytes_per_triple, r.reduction_vs_flat6,
+                r.star3_ms);
+    out->push_back(std::move(r));
+  }
+
+  // Per-order breakdown, captured from the default configuration above.
+  std::printf("\n  per-order bytes (all6_block128): ");
+  for (int oi = 0; oi < rdf::kNumIndexOrders; ++oi) {
+    std::printf("%s=%zu ", rdf::IndexOrderName(static_cast<rdf::IndexOrder>(oi)),
+                default_order_bytes[static_cast<size_t>(oi)]);
+  }
+  std::printf("\n");
+
+  // Acceptance bars: the default full six-order set must land at or
+  // under 2.4x the raw triple bytes — a >= 2.5x reduction against the
+  // 6x flat layout this store used to pay.
+  const MemoryConfigResult& def = (*out)[0];
+  const double vs_raw =
+      def.bytes_per_triple / static_cast<double>(sizeof(rdf::Triple));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.2fx raw (%.1f bytes/triple)", vs_raw,
+                def.bytes_per_triple);
+  shape->Check(vs_raw <= 2.4,
+               std::string("six compressed orders <= 2.4x raw triple "
+                           "bytes (got ") + buf + ")");
+  shape->Check(def.reduction_vs_flat6 >= 2.5,
+               "compressed six-order set >= 2.5x smaller than flat rows");
+  return 0;
+}
 
 /// Part 2: per-shape old-vs-new executor timings on a plain DBLP KG.
 int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
@@ -154,6 +255,10 @@ int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
   shape->Check(no_regression,
                "no shape regresses more than 10% vs the legacy executor");
 
+  // Part 3: memory-vs-speed across index configurations (same graph).
+  std::vector<MemoryConfigResult> mem;
+  if (RunIndexMemoryBench(shape, opts, &mem) != 0) return 1;
+
   // Machine-readable output for tracking across revisions.
   FILE* json = std::fopen("BENCH_queryopt.json", "w");
   if (json != nullptr) {
@@ -168,7 +273,25 @@ int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
                    r.name.c_str(), r.rows, r.old_ms, r.new_ms, r.speedup(),
                    i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(json, "  ]\n}\n");
+    std::fprintf(json, "  ],\n");
+    std::fprintf(json,
+                 "  \"index_memory\": {\n"
+                 "    \"raw_bytes_per_triple\": %zu,\n"
+                 "    \"flat_six_order_bytes_per_triple\": %zu,\n"
+                 "    \"configs\": [\n",
+                 sizeof(rdf::Triple),
+                 sizeof(rdf::Triple) * rdf::kNumIndexOrders);
+    for (size_t i = 0; i < mem.size(); ++i) {
+      const MemoryConfigResult& r = mem[i];
+      std::fprintf(json,
+                   "      {\"name\": \"%s\", \"index_bytes\": %zu, "
+                   "\"bytes_per_triple\": %.2f, "
+                   "\"reduction_vs_flat6\": %.3f, \"star3_ms\": %.4f}%s\n",
+                   r.name.c_str(), r.index_bytes, r.bytes_per_triple,
+                   r.reduction_vs_flat6, r.star3_ms,
+                   i + 1 < mem.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]\n  }\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_queryopt.json\n");
   }

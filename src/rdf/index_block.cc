@@ -1,0 +1,169 @@
+#include "rdf/index_block.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace kgnet::rdf {
+
+namespace {
+
+void PutVarint(uint32_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint32_t GetVarint(const uint8_t** p) {
+  uint32_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const uint8_t b = *(*p)++;
+    v |= static_cast<uint32_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+// Gap encoding against the previous key. The run is sorted, so the
+// first slot that differs from `prev` increased; everything left of it
+// is equal and omitted, everything right of it restarts as full values.
+void CompressedRun::EncodeOne(const IndexKey& prev, const IndexKey& cur,
+                              std::vector<uint8_t>* out) {
+  const TermId d0 = cur[0] - prev[0];
+  PutVarint(d0, out);
+  if (d0 != 0) {
+    PutVarint(cur[1], out);
+    PutVarint(cur[2], out);
+    return;
+  }
+  const TermId d1 = cur[1] - prev[1];
+  PutVarint(d1, out);
+  if (d1 != 0) {
+    PutVarint(cur[2], out);
+    return;
+  }
+  PutVarint(cur[2] - prev[2], out);
+}
+
+void CompressedRun::DecodeOne(const uint8_t** p, IndexKey* key) {
+  const uint32_t d0 = GetVarint(p);
+  if (d0 != 0) {
+    (*key)[0] += d0;
+    (*key)[1] = GetVarint(p);
+    (*key)[2] = GetVarint(p);
+    return;
+  }
+  const uint32_t d1 = GetVarint(p);
+  if (d1 != 0) {
+    (*key)[1] += d1;
+    (*key)[2] = GetVarint(p);
+    return;
+  }
+  (*key)[2] += GetVarint(p);
+}
+
+void CompressedRun::Assign(const std::vector<IndexKey>& keys) {
+  bytes_.clear();
+  skip_.clear();
+  size_ = keys.size();
+  skip_.reserve((size_ + block_size_ - 1) / block_size_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i % block_size_ == 0)
+      skip_.push_back({keys[i], static_cast<uint64_t>(bytes_.size())});
+    else
+      EncodeOne(keys[i - 1], keys[i], &bytes_);
+  }
+  bytes_.shrink_to_fit();
+}
+
+bool RunCursor::Next(IndexKey* out) {
+  if (pos_ >= end_) return false;
+  const size_t bs = run_->block_size_;
+  const size_t in_block = pos_ % bs;
+  if (in_block == 0) {
+    // Block starts resync from the skip table (also covers pos_ == 0).
+    const CompressedRun::SkipEntry& blk = run_->skip_[pos_ / bs];
+    prev_ = blk.first;
+    ptr_ = run_->bytes_.data() + blk.byte_offset;
+  } else if (!primed_) {
+    // First call lands mid-block: decode forward from the block start.
+    const CompressedRun::SkipEntry& blk = run_->skip_[pos_ / bs];
+    prev_ = blk.first;
+    ptr_ = run_->bytes_.data() + blk.byte_offset;
+    for (size_t skip = 0; skip < in_block; ++skip)
+      CompressedRun::DecodeOne(&ptr_, &prev_);
+  } else {
+    CompressedRun::DecodeOne(&ptr_, &prev_);
+  }
+  primed_ = true;
+  *out = prev_;
+  ++pos_;
+  return true;
+}
+
+size_t CompressedRun::LowerBound(const IndexKey& key) const {
+  if (size_ == 0) return 0;
+  // Candidate block: the last one whose first key is < `key` (earlier
+  // blocks hold only smaller keys; later blocks start at >= `key`).
+  auto it = std::lower_bound(
+      skip_.begin(), skip_.end(), key,
+      [](const SkipEntry& e, const IndexKey& k) { return e.first < k; });
+  const size_t b =
+      it == skip_.begin() ? 0 : static_cast<size_t>(it - skip_.begin()) - 1;
+  const size_t start = b * block_size_;
+  const size_t stop = std::min(start + block_size_, size_);
+  RunCursor c = Cursor(start, stop);
+  IndexKey k;
+  size_t row = start;
+  while (c.Next(&k)) {
+    if (!(k < key)) return row;
+    ++row;
+  }
+  return row;  // every key of the block is smaller: next block starts >=
+}
+
+size_t CompressedRun::UpperBound(const IndexKey& key) const {
+  if (size_ == 0) return 0;
+  // Candidate block: the last one whose first key is <= `key`.
+  auto it = std::upper_bound(
+      skip_.begin(), skip_.end(), key,
+      [](const IndexKey& k, const SkipEntry& e) { return k < e.first; });
+  const size_t b =
+      it == skip_.begin() ? 0 : static_cast<size_t>(it - skip_.begin()) - 1;
+  const size_t start = b * block_size_;
+  const size_t stop = std::min(start + block_size_, size_);
+  RunCursor c = Cursor(start, stop);
+  IndexKey k;
+  size_t row = start;
+  while (c.Next(&k)) {
+    if (key < k) return row;
+    ++row;
+  }
+  return row;
+}
+
+std::pair<size_t, size_t> CompressedRun::PrefixRange(
+    int prefix_len, const IndexKey& prefix) const {
+  if (prefix_len <= 0) return {0, size_};
+  constexpr TermId kMax = std::numeric_limits<TermId>::max();
+  IndexKey lo = {prefix[0], 0, 0};
+  IndexKey hi = {prefix[0], kMax, kMax};
+  if (prefix_len >= 2) {
+    lo[1] = hi[1] = prefix[1];
+    if (prefix_len >= 3) lo[2] = hi[2] = prefix[2];
+  }
+  return {LowerBound(lo), UpperBound(hi)};
+}
+
+void CompressedRun::DecodeAll(std::vector<IndexKey>* out) const {
+  out->reserve(out->size() + size_);
+  RunCursor c = Cursor(0, size_);
+  IndexKey k;
+  while (c.Next(&k)) out->push_back(k);
+}
+
+}  // namespace kgnet::rdf

@@ -3,29 +3,9 @@
 #include <algorithm>
 #include <array>
 
+#include "tensor/memory_meter.h"
+
 namespace kgnet::rdf {
-
-namespace {
-
-// Comparator over permuted key order.
-struct KeyLess {
-  IndexOrder order;
-  bool operator()(const Triple& a, const Triple& b) const {
-    auto ka = Permute(order, a);
-    auto kb = Permute(order, b);
-    return ka < kb;
-  }
-  // Derived from IndexOrderPositions so the two stay consistent by
-  // construction (seek/sort keys and the planner's ordered-slot logic
-  // must agree on every permutation).
-  static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t) {
-    const std::array<int, 3> positions = IndexOrderPositions(order);
-    auto at = [&](int pos) { return pos == 0 ? t.s : (pos == 1 ? t.p : t.o); };
-    return {at(positions[0]), at(positions[1]), at(positions[2])};
-  }
-};
-
-}  // namespace
 
 const char* IndexOrderName(IndexOrder order) {
   switch (order) {
@@ -63,17 +43,70 @@ std::array<int, 3> IndexOrderPositions(IndexOrder order) {
   return {0, 1, 2};
 }
 
-TripleStore::TripleStore() {
-  for (int i = 0; i < kNumIndexOrders; ++i)
-    indexes_[i].order = static_cast<IndexOrder>(i);
+TripleStore::TripleStore(const Options& options) : options_(options) {
+  for (int i = 0; i < kNumIndexOrders; ++i) {
+    Index& idx = indexes_[static_cast<size_t>(i)];
+    idx.order = static_cast<IndexOrder>(i);
+    // The classic trio occupies the first three IndexOrder values.
+    idx.present = options_.index_set == Options::IndexSet::kAllSix || i < 3;
+    idx.run = CompressedRun(options_.block_size);
+  }
 }
 
-std::array<TermId, 3> TripleStore::Permute(IndexOrder order, const Triple& t) {
-  return KeyLess::Permute(order, t);
+TripleStore::~TripleStore() {
+  auto& meter = tensor::MemoryMeter::Instance();
+  for (const Index& idx : indexes_)
+    if (idx.present)
+      meter.ReleaseIndex(static_cast<int>(idx.order), idx.run.ByteSize());
 }
 
-Triple TripleStore::Unpermute(IndexOrder order,
-                              const std::array<TermId, 3>& k) {
+TripleStore::TripleStore(TripleStore&& other) noexcept
+    : options_(other.options_),
+      dict_(std::move(other.dict_)),
+      pending_(std::move(other.pending_)),
+      pending_erase_(std::move(other.pending_erase_)),
+      membership_(std::move(other.membership_)) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    indexes_[i].order = other.indexes_[i].order;
+    indexes_[i].present = other.indexes_[i].present;
+    indexes_[i].run = std::move(other.indexes_[i].run);
+    // Leave the source with a deterministically empty run so its
+    // destructor releases zero bytes — the registered bytes now belong
+    // to this store.
+    other.indexes_[i].run = CompressedRun(options_.block_size);
+  }
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this == &other) return *this;
+  auto& meter = tensor::MemoryMeter::Instance();
+  for (const Index& idx : indexes_)
+    if (idx.present)
+      meter.ReleaseIndex(static_cast<int>(idx.order), idx.run.ByteSize());
+  options_ = other.options_;
+  dict_ = std::move(other.dict_);
+  pending_ = std::move(other.pending_);
+  pending_erase_ = std::move(other.pending_erase_);
+  membership_ = std::move(other.membership_);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    indexes_[i].order = other.indexes_[i].order;
+    indexes_[i].present = other.indexes_[i].present;
+    indexes_[i].run = std::move(other.indexes_[i].run);
+    other.indexes_[i].run = CompressedRun(options_.block_size);
+  }
+  return *this;
+}
+
+IndexKey TripleStore::Permute(IndexOrder order, const Triple& t) {
+  // Derived from IndexOrderPositions so the two stay consistent by
+  // construction (seek/sort keys and the planner's ordered-slot logic
+  // must agree on every permutation).
+  const std::array<int, 3> positions = IndexOrderPositions(order);
+  auto at = [&](int pos) { return pos == 0 ? t.s : (pos == 1 ? t.p : t.o); };
+  return {at(positions[0]), at(positions[1]), at(positions[2])};
+}
+
+Triple TripleStore::Unpermute(IndexOrder order, const IndexKey& k) {
   // Inverse of Permute: key slot i holds triple position
   // IndexOrderPositions(order)[i].
   std::array<TermId, 3> spo = {0, 0, 0};
@@ -98,29 +131,52 @@ bool TripleStore::InsertIris(std::string_view s, std::string_view p,
                        dict_.InternIri(o)));
 }
 
+void TripleStore::RebuildRun(const Index& idx,
+                             const std::vector<IndexKey>& keys) const {
+  auto& meter = tensor::MemoryMeter::Instance();
+  const int tag = static_cast<int>(idx.order);
+  meter.ReleaseIndex(tag, idx.run.ByteSize());
+  idx.run.Assign(keys);
+  meter.AllocateIndex(tag, idx.run.ByteSize());
+}
+
 void TripleStore::FlushInserts() const {
-  if (pending_.empty()) return;
-  for (Index& idx : indexes_) {
-    size_t old_size = idx.rows.size();
-    idx.rows.insert(idx.rows.end(), pending_.begin(), pending_.end());
-    KeyLess less{idx.order};
-    std::sort(idx.rows.begin() + old_size, idx.rows.end(), less);
-    std::inplace_merge(idx.rows.begin(), idx.rows.begin() + old_size,
-                       idx.rows.end(), less);
+  if (pending_.empty() && pending_erase_.empty()) return;
+  for (const Index& idx : indexes_) {
+    if (!idx.present) continue;
+    // Decode the old run minus the buffered erases, then merge the
+    // buffered inserts in permuted sort order and re-encode. One O(n)
+    // rebuild per flush, the same asymptotics as the old in-place merge
+    // of flat sorted rows.
+    std::vector<IndexKey> keys;
+    keys.reserve(idx.run.size() + pending_.size());
+    RunCursor c = idx.run.Cursor(0, idx.run.size());
+    IndexKey k;
+    while (c.Next(&k)) {
+      if (!pending_erase_.empty() &&
+          pending_erase_.count(Unpermute(idx.order, k)) > 0)
+        continue;
+      keys.push_back(k);
+    }
+    const auto old_end = static_cast<std::ptrdiff_t>(keys.size());
+    for (const Triple& t : pending_) keys.push_back(Permute(idx.order, t));
+    std::sort(keys.begin() + old_end, keys.end());
+    std::inplace_merge(keys.begin(), keys.begin() + old_end, keys.end());
+    RebuildRun(idx, keys);
   }
   pending_.clear();
+  pending_erase_.clear();
 }
 
 bool TripleStore::Erase(const Triple& t) {
-  auto it = membership_.find(t);
-  if (it == membership_.end()) return false;
-  membership_.erase(it);
-  FlushInserts();
-  for (Index& idx : indexes_) {
-    KeyLess less{idx.order};
-    auto range = std::equal_range(idx.rows.begin(), idx.rows.end(), t, less);
-    idx.rows.erase(range.first, range.second);
+  if (membership_.erase(t) == 0) return false;
+  // A still-pending insert of t never reached the runs: drop it directly.
+  auto it = std::find(pending_.begin(), pending_.end(), t);
+  if (it != pending_.end()) {
+    pending_.erase(it);
+    return true;
   }
+  pending_erase_.insert(t);
   return true;
 }
 
@@ -134,56 +190,10 @@ bool TripleStore::Contains(const Triple& t) const {
   return membership_.count(t) > 0;
 }
 
-std::pair<size_t, size_t> TripleStore::PrefixRange(const Index& idx, TermId k0,
-                                                   TermId k1) const {
-  const auto& rows = idx.rows;
-  auto key_of = [&](const Triple& t) { return KeyLess::Permute(idx.order, t); };
-
-  auto lo_it = rows.begin();
-  auto hi_it = rows.end();
-  if (k0 != kNullTermId) {
-    lo_it = std::lower_bound(rows.begin(), rows.end(), k0,
-                             [&](const Triple& t, TermId v) {
-                               return key_of(t)[0] < v;
-                             });
-    hi_it = std::upper_bound(lo_it, rows.end(), k0,
-                             [&](TermId v, const Triple& t) {
-                               return v < key_of(t)[0];
-                             });
-    if (k1 != kNullTermId) {
-      auto lo2 = std::lower_bound(lo_it, hi_it, k1,
-                                  [&](const Triple& t, TermId v) {
-                                    return key_of(t)[1] < v;
-                                  });
-      auto hi2 = std::upper_bound(lo2, hi_it, k1,
-                                  [&](TermId v, const Triple& t) {
-                                    return v < key_of(t)[1];
-                                  });
-      lo_it = lo2;
-      hi_it = hi2;
-    }
-  }
-  return {static_cast<size_t>(lo_it - rows.begin()),
-          static_cast<size_t>(hi_it - rows.begin())};
-}
-
-void TripleStore::ScanIndex(const Index& idx, const TriplePattern& pattern,
-                            const std::function<bool(const Triple&)>& fn) const {
-  std::array<TermId, 3> key =
-      KeyLess::Permute(idx.order, Triple(pattern.s, pattern.p, pattern.o));
-  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
-  for (size_t i = lo; i < hi; ++i) {
-    const Triple& t = idx.rows[i];
-    if (pattern.Matches(t)) {
-      if (!fn(t)) return;
-    }
-  }
-}
-
-IndexOrder TripleStore::ChooseIndex(const TriplePattern& pattern) {
-  // Pick an index whose permuted key has the longest bound prefix. Every
-  // bound combination has a full-prefix index; ties keep the classical
-  // SPO/POS/OSP trio for stable plan rendering.
+IndexOrder TripleStore::ChooseIndex(const TriplePattern& pattern) const {
+  // Pick an index whose permuted key has the longest bound prefix. The
+  // classic trio — maintained under every Options configuration — covers
+  // all bound combinations; the full set only adds more sort orders.
   const bool s = pattern.s != kNullTermId;
   const bool p = pattern.p != kNullTermId;
   const bool o = pattern.o != kNullTermId;
@@ -200,35 +210,45 @@ const TripleStore::Index& TripleStore::IndexFor(IndexOrder order) const {
   return indexes_[static_cast<size_t>(order)];
 }
 
+int TripleStore::num_indexes() const {
+  int n = 0;
+  for (const Index& idx : indexes_)
+    if (idx.present) ++n;
+  return n;
+}
+
 void TripleStore::Scan(const TriplePattern& pattern,
                        const std::function<bool(const Triple&)>& fn) const {
-  FlushInserts();
-  ScanIndex(IndexFor(ChooseIndex(pattern)), pattern, fn);
+  TripleCursor c = OpenCursor(ChooseIndex(pattern), pattern);
+  Triple t;
+  while (c.Next(&t))
+    if (!fn(t)) return;
 }
 
 TripleCursor TripleStore::OpenCursor(IndexOrder order,
                                      const TriplePattern& pattern) const {
   FlushInserts();
-  const Index& idx = IndexFor(order);
-  std::array<TermId, 3> key =
-      KeyLess::Permute(order, Triple(pattern.s, pattern.p, pattern.o));
-  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
+  const Index* idx = &IndexFor(order);
+  if (!idx->present) idx = &IndexFor(ChooseIndex(pattern));
+  const IndexKey key =
+      Permute(idx->order, Triple(pattern.s, pattern.p, pattern.o));
+  // Seekable prefix: leading bound key slots (the first unbound slot ends
+  // it; later bound slots are filtered row by row).
+  int prefix_len = 0;
+  while (prefix_len < 3 && key[static_cast<size_t>(prefix_len)] != kNullTermId)
+    ++prefix_len;
+  auto [lo, hi] = idx->run.PrefixRange(prefix_len, key);
   TripleCursor c;
-  c.rows_ = &idx.rows;
-  c.pos_ = lo;
-  c.end_ = hi;
+  c.run_ = idx->run.Cursor(lo, hi);
+  c.positions_ = IndexOrderPositions(idx->order);
   c.pattern_ = pattern;
   return c;
 }
 
 size_t TripleStore::EstimateRange(IndexOrder order,
                                   const TriplePattern& pattern) const {
-  FlushInserts();
-  const Index& idx = IndexFor(order);
-  std::array<TermId, 3> key =
-      KeyLess::Permute(order, Triple(pattern.s, pattern.p, pattern.o));
-  auto [lo, hi] = PrefixRange(idx, key[0], key[0] ? key[1] : kNullTermId);
-  return hi - lo;
+  TripleCursor c = OpenCursor(order, pattern);
+  return c.remaining();
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
@@ -254,7 +274,8 @@ size_t TripleStore::EstimateCardinality(const TriplePattern& pattern) const {
   const bool s = pattern.s != kNullTermId;
   const bool p = pattern.p != kNullTermId;
   const bool o = pattern.o != kNullTermId;
-  if (s && p && o) return Contains(Triple(pattern.s, pattern.p, pattern.o)) ? 1 : 0;
+  if (s && p && o)
+    return Contains(Triple(pattern.s, pattern.p, pattern.o)) ? 1 : 0;
   if (!s && !p && !o) return size();
   // ChooseIndex covers every partially-bound pattern with a full-prefix
   // index, so the range size is the exact cardinality.
@@ -265,49 +286,52 @@ size_t TripleStore::size() const {
   return membership_.size();
 }
 
-size_t TripleStore::NumDistinctSubjects() const {
+size_t TripleStore::IndexBytes(IndexOrder order) const {
   FlushInserts();
+  const Index& idx = IndexFor(order);
+  return idx.present ? idx.run.ByteSize() : 0;
+}
+
+size_t TripleStore::TotalIndexBytes() const {
+  size_t total = 0;
+  for (int i = 0; i < kNumIndexOrders; ++i)
+    total += IndexBytes(static_cast<IndexOrder>(i));
+  return total;
+}
+
+namespace {
+
+/// Distinct values of triple position `pos` (0=s, 1=p, 2=o), counted by
+/// streaming the index whose first key slot is that position.
+size_t CountDistinct(const TripleStore& store, IndexOrder order, int pos) {
+  TripleCursor c = store.OpenCursor(order, TriplePattern());
   size_t n = 0;
   TermId prev = kNullTermId;
   bool first = true;
-  for (const Triple& t : IndexFor(IndexOrder::kSpo).rows) {
-    if (first || t.s != prev) {
+  Triple t;
+  while (c.Next(&t)) {
+    const TermId v = pos == 0 ? t.s : (pos == 1 ? t.p : t.o);
+    if (first || v != prev) {
       ++n;
-      prev = t.s;
+      prev = v;
       first = false;
     }
   }
   return n;
+}
+
+}  // namespace
+
+size_t TripleStore::NumDistinctSubjects() const {
+  return CountDistinct(*this, IndexOrder::kSpo, 0);
 }
 
 size_t TripleStore::NumDistinctPredicates() const {
-  FlushInserts();
-  size_t n = 0;
-  TermId prev = kNullTermId;
-  bool first = true;
-  for (const Triple& t : IndexFor(IndexOrder::kPos).rows) {
-    if (first || t.p != prev) {
-      ++n;
-      prev = t.p;
-      first = false;
-    }
-  }
-  return n;
+  return CountDistinct(*this, IndexOrder::kPos, 1);
 }
 
 size_t TripleStore::NumDistinctObjects() const {
-  FlushInserts();
-  size_t n = 0;
-  TermId prev = kNullTermId;
-  bool first = true;
-  for (const Triple& t : IndexFor(IndexOrder::kOsp).rows) {
-    if (first || t.o != prev) {
-      ++n;
-      prev = t.o;
-      first = false;
-    }
-  }
-  return n;
+  return CountDistinct(*this, IndexOrder::kOsp, 2);
 }
 
 }  // namespace kgnet::rdf

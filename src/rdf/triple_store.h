@@ -1,4 +1,5 @@
-// An in-memory dictionary-encoded triple store with six permuted indexes.
+// An in-memory dictionary-encoded triple store with compressed,
+// configurable permutation indexes.
 #ifndef KGNET_RDF_TRIPLE_STORE_H_
 #define KGNET_RDF_TRIPLE_STORE_H_
 
@@ -11,16 +12,17 @@
 
 #include "common/status.h"
 #include "rdf/dictionary.h"
+#include "rdf/index_block.h"
 #include "rdf/triple.h"
 
 namespace kgnet::rdf {
 
-/// Which of the six collation orders an index stores. All permutations of
-/// (s, p, o) are kept, so every combination of bound positions has an
-/// index whose seekable prefix covers it AND every triple position can
-/// stream in sorted order under any single bound position — e.g. kPso
-/// streams subjects in order within one predicate, the case merge joins
-/// on subject-position join variables need.
+/// Which of the six collation orders an index stores. With the full set,
+/// every combination of bound positions has an index whose seekable
+/// prefix covers it AND every triple position can stream in sorted order
+/// under any single bound position — e.g. kPso streams subjects in order
+/// within one predicate, the case merge joins on subject-position join
+/// variables need.
 enum class IndexOrder { kSpo, kPos, kOsp, kPso, kOps, kSop };
 
 /// Number of IndexOrder values (= permutations of three positions).
@@ -36,15 +38,19 @@ std::array<int, 3> IndexOrderPositions(IndexOrder order);
 /// A streaming cursor over the triples matching a pattern, yielded in the
 /// sorted order of one permutation index (see TripleStore::OpenCursor).
 /// The cursor borrows the store's index storage, so it is valid only while
-/// the store is not mutated (the store is single-writer; see above).
+/// the store is not mutated (the store is single-writer; see below).
 class TripleCursor {
  public:
   TripleCursor() = default;
 
   /// Advances to the next matching triple. Returns false at end of range.
   bool Next(Triple* out) {
-    while (pos_ < end_) {
-      const Triple& t = (*rows_)[pos_++];
+    IndexKey key;
+    while (run_.Next(&key)) {
+      // Un-permute: key slot i holds triple position positions_[i].
+      std::array<TermId, 3> spo = {0, 0, 0};
+      for (int i = 0; i < 3; ++i) spo[positions_[i]] = key[i];
+      const Triple t(spo[0], spo[1], spo[2]);
       if (pattern_.Matches(t)) {
         *out = t;
         return true;
@@ -55,32 +61,78 @@ class TripleCursor {
 
   /// Upper bound on the remaining results (rest of the index range,
   /// including rows the non-prefix positions will filter out).
-  size_t remaining() const { return end_ - pos_; }
+  size_t remaining() const { return run_.remaining(); }
 
  private:
   friend class TripleStore;
-  const std::vector<Triple>* rows_ = nullptr;
-  size_t pos_ = 0;
-  size_t end_ = 0;
+  RunCursor run_;
+  std::array<int, 3> positions_ = {0, 1, 2};
   TriplePattern pattern_;
 };
 
 /// An in-memory triple store.
 ///
-/// Triples are dictionary-encoded (see Dictionary) and maintained in all
-/// six sorted permutation indexes — SPO, POS, OSP, PSO, OPS and SOP —
-/// mirroring the layout of full-permutation RDF engines (RDF-3X). The
-/// cost is 6x the raw triple storage (up from 3x with the classical
-/// SPO/POS/OSP trio), bought so that every (bound positions -> stream
-/// order) lookup is a binary-searched prefix range instead of a full
-/// scan. Inserts are buffered and merged lazily so that bulk loading
-/// stays O(n log n).
+/// Triples are dictionary-encoded (see Dictionary) and maintained in
+/// sorted permutation indexes stored as block-structured, delta-
+/// compressed runs (see rdf/index_block.h): fixed-size blocks of varint
+/// deltas on the permuted key order plus a skip table, so every lookup
+/// still binary-searches block boundaries and decodes only the blocks in
+/// range. Options picks the index set — all six permutations (SPO POS
+/// OSP PSO OPS SOP, the RDF-3X full-permutation layout, default) or the
+/// classic SPO/POS/OSP trio at half the memory — and the block size.
+/// Compressed runs typically cost ~2x the raw triple bytes for the full
+/// six-order set, versus 6x for flat sorted rows.
 ///
+/// Inserts and erases are buffered and merged lazily so that bulk
+/// loading stays O(n log n); each flush rebuilds the affected runs.
 /// The store is single-writer; readers must not run concurrently with
 /// mutation (the KGNet pipeline is phase-structured, so this suffices).
+/// Index bytes are also reported per order to the thread-local
+/// tensor::MemoryMeter index pool.
 class TripleStore {
  public:
-  TripleStore();
+  /// Index configuration knobs, fixed at construction.
+  struct Options {
+    /// Which permutation indexes to maintain.
+    enum class IndexSet {
+      /// SPO POS OSP PSO OPS SOP: every bound combination is an exact
+      /// index prefix AND every position can stream in sorted order
+      /// under any bound prefix (merge-join friendly). Default.
+      kAllSix,
+      /// SPO POS OSP only: half the index memory. Every bound
+      /// combination is still an exact prefix (cardinality estimates
+      /// stay exact), but fewer sort orders are available, so the
+      /// planner falls back to hash/bind joins where a merge join
+      /// needed a missing permutation.
+      kClassicTrio,
+    };
+    IndexSet index_set = IndexSet::kAllSix;
+    /// Rows per compressed index block (see rdf/index_block.h).
+    size_t block_size = kDefaultIndexBlockSize;
+  };
+
+  TripleStore() : TripleStore(Options()) {}
+  explicit TripleStore(const Options& options);
+  ~TripleStore();
+
+  // Index byte accounting registers with the thread-local MemoryMeter:
+  // moves hand the registered bytes over (the source is left empty);
+  // copies are disallowed.
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
+
+  /// The configuration this store was built with.
+  const Options& options() const { return options_; }
+
+  /// True when the permutation index `order` is maintained.
+  bool has_index(IndexOrder order) const {
+    return indexes_[static_cast<size_t>(order)].present;
+  }
+
+  /// Number of maintained permutation indexes (3 or 6).
+  int num_indexes() const;
 
   /// The dictionary used to encode all triples in this store.
   Dictionary& dict() { return dict_; }
@@ -96,7 +148,8 @@ class TripleStore {
   /// Convenience for IRI-only triples.
   bool InsertIris(std::string_view s, std::string_view p, std::string_view o);
 
-  /// Removes a triple. Returns true if it was present.
+  /// Removes a triple. Returns true if it was present. Removal is
+  /// buffered like inserts; the runs rebuild on the next read.
   bool Erase(const Triple& t);
 
   /// Removes every triple matching `pattern`; returns the number removed.
@@ -117,60 +170,75 @@ class TripleStore {
   size_t Count(const TriplePattern& pattern) const;
 
   /// O(log n) cardinality estimate for a pattern; used by the SPARQL
-  /// optimizer. With all six permutation indexes every bound combination
-  /// is a full index prefix, so the estimate is exact for every pattern.
+  /// optimizer. Both index sets give every bound combination a full
+  /// index prefix, so the estimate is exact for every pattern.
   size_t EstimateCardinality(const TriplePattern& pattern) const;
 
   /// Opens a streaming cursor over `pattern` on the index with collation
   /// `order`. Rows arrive in that index's sort order: after the bound key
-  /// prefix (binary-seeked), they are ordered by the first unbound key
-  /// position. Bound positions outside the prefix are filtered row by row.
+  /// prefix (binary-seeked over the block skip table), they are ordered
+  /// by the first unbound key position. Bound positions outside the
+  /// prefix are filtered row by row. If `order` is not maintained under
+  /// this store's Options, the scan falls back to ChooseIndex(pattern):
+  /// results stay correct but the stream order is unspecified — callers
+  /// that rely on the order (merge joins) must check has_index() first,
+  /// as the streaming planner does.
   TripleCursor OpenCursor(IndexOrder order, const TriplePattern& pattern) const;
 
   /// Size of the index range OpenCursor(order, pattern) would walk: an
   /// O(log n) upper bound on its result count, exact when every bound
   /// position lies in the seekable prefix. The streaming planner uses this
-  /// as the scan cost of each candidate index.
+  /// as the scan cost of each candidate index. Falls back like OpenCursor
+  /// when `order` is absent.
   size_t EstimateRange(IndexOrder order, const TriplePattern& pattern) const;
 
   /// The index Scan() picks for `pattern` (longest useful bound prefix).
-  static IndexOrder ChooseIndex(const TriplePattern& pattern);
+  /// Only ever selects from the classic trio, which every Options
+  /// configuration maintains.
+  IndexOrder ChooseIndex(const TriplePattern& pattern) const;
 
   /// Total number of triples.
   size_t size() const;
+
+  /// Compressed bytes held by the permutation index `order` (payload plus
+  /// skip table), zero when the order is not maintained. Flushes pending
+  /// mutations first so the number reflects every inserted triple.
+  size_t IndexBytes(IndexOrder order) const;
+
+  /// Compressed bytes across all maintained permutation indexes.
+  size_t TotalIndexBytes() const;
 
   /// Number of distinct subjects / predicates / objects (exact, O(n)).
   size_t NumDistinctSubjects() const;
   size_t NumDistinctPredicates() const;
   size_t NumDistinctObjects() const;
 
-  /// Forces pending inserts into the sorted indexes. Called automatically by
-  /// read operations; exposed for benchmarks that want to exclude merge time.
+  /// Forces pending inserts/erases into the compressed runs. Called
+  /// automatically by read operations; exposed for benchmarks that want
+  /// to exclude merge time.
   void FlushInserts() const;
 
  private:
   struct Index {
-    IndexOrder order;
-    // Sorted in permuted order.
-    mutable std::vector<Triple> rows;
+    IndexOrder order = IndexOrder::kSpo;
+    bool present = true;
+    mutable CompressedRun run;
   };
 
-  static std::array<TermId, 3> Permute(IndexOrder order, const Triple& t);
-  static Triple Unpermute(IndexOrder order, const std::array<TermId, 3>& k);
+  static IndexKey Permute(IndexOrder order, const Triple& t);
+  static Triple Unpermute(IndexOrder order, const IndexKey& k);
 
   const Index& IndexFor(IndexOrder order) const;
 
-  // Returns [lo, hi) bounds in `idx` for the bound prefix of `pattern`
-  // (after permutation); remaining free positions are filtered by caller.
-  std::pair<size_t, size_t> PrefixRange(const Index& idx, TermId k0,
-                                        TermId k1) const;
+  /// Replaces `idx`'s run with `keys`, keeping the MemoryMeter's
+  /// per-order index pool in sync.
+  void RebuildRun(const Index& idx, const std::vector<IndexKey>& keys) const;
 
-  void ScanIndex(const Index& idx, const TriplePattern& pattern,
-                 const std::function<bool(const Triple&)>& fn) const;
-
+  Options options_;
   Dictionary dict_;
   mutable std::array<Index, kNumIndexOrders> indexes_;
   mutable std::vector<Triple> pending_;
+  mutable std::unordered_set<Triple, TripleHash> pending_erase_;
   mutable std::unordered_set<Triple, TripleHash> membership_;
 };
 

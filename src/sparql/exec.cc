@@ -186,8 +186,7 @@ void IndexScan::Open(const Solution& outer) {
   base_ = outer;
   base_.resize(width_, kNullTermId);
   TriplePattern pattern = BindPattern(cp_, base_);
-  rdf::IndexOrder order =
-      order_ ? *order_ : rdf::TripleStore::ChooseIndex(pattern);
+  rdf::IndexOrder order = order_ ? *order_ : store_->ChooseIndex(pattern);
   cursor_ = store_->OpenCursor(order, pattern);
 }
 

@@ -50,8 +50,11 @@ struct PatternState {
   const PatternTriple* src = nullptr;
   CompiledPattern cp;
   TriplePattern consts;  // constant positions only, variables open
-  std::array<ScanChoice, rdf::kNumIndexOrders> choices;
-  int cheapest = 0;       // index into `choices` with the smallest range
+  // One entry per permutation index the store maintains (6 by default,
+  // 3 with Options::IndexSet::kClassicTrio) — absent orders are never
+  // enumerated, so every candidate below is executable.
+  std::vector<ScanChoice> choices;
+  size_t cheapest = 0;    // index into `choices` with the smallest range
   size_t out_est = 0;     // estimated matching triples
   std::vector<int> slots;  // distinct variable slots
   bool joined = false;
@@ -179,9 +182,12 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       if (slot >= 0) slot_set.insert(slot);
     }
     ps.slots.assign(slot_set.begin(), slot_set.end());
+    ps.choices.reserve(static_cast<size_t>(rdf::kNumIndexOrders));
     for (int i = 0; i < rdf::kNumIndexOrders; ++i) {
-      ScanChoice& c = ps.choices[i];
-      c.order = static_cast<IndexOrder>(i);
+      const IndexOrder order = static_cast<IndexOrder>(i);
+      if (!store->has_index(order)) continue;
+      ScanChoice c;
+      c.order = order;
       c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
       auto positions = IndexOrderPositions(c.order);
       c.ordered_slot = -1;
@@ -194,6 +200,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
           break;
         }
       }
+      ps.choices.push_back(c);
     }
   }
 
@@ -209,11 +216,13 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
 
   // Cheapest scan per pattern; among equal ranges prefer one streaming in
   // join-variable order, so the initial scan can feed a SortMergeJoin —
-  // with six permutations there is an ordered option for every position
-  // (e.g. PSO for a subject-position join variable under a bound
-  // predicate, which previously needed a full SPO scan).
+  // with all six permutations maintained there is an ordered option for
+  // every position (e.g. PSO for a subject-position join variable under a
+  // bound predicate, which previously needed a full SPO scan). With the
+  // classic trio, fewer ordered options exist and the tie-break simply
+  // finds fewer merge-friendly scans.
   for (PatternState& ps : patterns) {
-    for (int i = 1; i < rdf::kNumIndexOrders; ++i) {
+    for (size_t i = 1; i < ps.choices.size(); ++i) {
       const ScanChoice& c = ps.choices[i];
       const ScanChoice& best = ps.choices[ps.cheapest];
       if (c.range < best.range ||

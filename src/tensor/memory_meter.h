@@ -7,12 +7,14 @@
 #ifndef KGNET_TENSOR_MEMORY_METER_H_
 #define KGNET_TENSOR_MEMORY_METER_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 namespace kgnet::tensor {
 
-/// Tracks current and peak live bytes of tensor payloads on this thread.
+/// Tracks current and peak live bytes of tensor payloads on this thread,
+/// plus a separate per-tag pool for RDF permutation-index storage.
 class MemoryMeter {
  public:
   /// The per-thread meter used by Matrix/CsrMatrix.
@@ -38,9 +40,46 @@ class MemoryMeter {
   /// Resets the peak to the current level.
   void Reset() { peak_ = current_; }
 
+  // ------------------------------------------------ index-storage pool --
+  // Live bytes of compressed RDF permutation indexes, accounted per
+  // index-order tag (0..kNumIndexTags-1; the rdf layer passes its
+  // IndexOrder enum value). Kept separate from the tensor current/peak
+  // numbers above so training-memory scopes stay comparable no matter
+  // how large the triple store's indexes are.
+
+  /// Index-order tags the meter can track (covers rdf's six orders).
+  static constexpr int kNumIndexTags = 8;
+
+  /// Registers `bytes` of index storage under `tag`.
+  void AllocateIndex(int tag, size_t bytes) {
+    index_bytes_[Tag(tag)] += bytes;
+  }
+
+  /// Registers the release of `bytes` of index storage under `tag`.
+  void ReleaseIndex(int tag, size_t bytes) {
+    size_t& cell = index_bytes_[Tag(tag)];
+    cell = bytes > cell ? 0 : cell - bytes;
+  }
+
+  /// Live index bytes under `tag`, summed across stores on this thread.
+  size_t IndexBytes(int tag) const { return index_bytes_[Tag(tag)]; }
+
+  /// Live index bytes across every tag.
+  size_t TotalIndexBytes() const {
+    size_t total = 0;
+    for (size_t b : index_bytes_) total += b;
+    return total;
+  }
+
  private:
+  static size_t Tag(int tag) {
+    return tag >= 0 && tag < kNumIndexTags ? static_cast<size_t>(tag)
+                                           : kNumIndexTags - 1;
+  }
+
   size_t current_ = 0;
   size_t peak_ = 0;
+  std::array<size_t, kNumIndexTags> index_bytes_{};
 };
 
 /// RAII helper: reports the peak *additional* bytes allocated during its

@@ -459,7 +459,15 @@ void RunSeeds(uint64_t first_seed, int count, const GenOptions& opts) {
     tensor::Rng rng(seed);
     Case c = GenerateCase(&rng, opts);
 
-    rdf::TripleStore store;
+    // The store configuration rotates with the seed so the differential
+    // cases also cover the classic-trio index subset (planner fallback
+    // when a permutation is absent) and tiny compressed-block sizes
+    // (cursor decode across many block boundaries).
+    rdf::TripleStore::Options sopts;
+    if (seed % 3 == 1)
+      sopts.index_set = rdf::TripleStore::Options::IndexSet::kClassicTrio;
+    if (seed % 2 == 1) sopts.block_size = 1 + seed % 5;
+    rdf::TripleStore store(sopts);
     for (const RTriple& f : c.facts) {
       auto to_term = [](const RTerm& t) {
         return t.iri ? Term::Iri(t.lex)

@@ -196,6 +196,47 @@ TEST_F(PlanTest, StreamingUnionLimitShortCircuitsScans) {
                                            << " limited=" << lim_scanned;
 }
 
+class TrioPlanTest : public ::testing::Test {
+ protected:
+  TrioPlanTest() : store_(TrioOptions()), engine_(&store_) {
+    for (int i = 0; i < 200; ++i) {
+      store_.InsertIris("u" + std::to_string(i % 50), "e0",
+                        "v" + std::to_string((i * 7) % 60));
+      store_.InsertIris("v" + std::to_string(i % 60), "e1",
+                        "w" + std::to_string((i * 3) % 40));
+    }
+  }
+  static rdf::TripleStore::Options TrioOptions() {
+    rdf::TripleStore::Options opts;
+    opts.index_set = rdf::TripleStore::Options::IndexSet::kClassicTrio;
+    return opts;
+  }
+  rdf::TripleStore store_;
+  QueryEngine engine_;
+};
+
+TEST_F(TrioPlanTest, PlannerFallsBackGracefullyWithoutSecondTrio) {
+  // The chain shape whose merge join rides PSO under the full index set:
+  // with only SPO/POS/OSP maintained, the planner must not reference the
+  // absent permutations and must still answer correctly (hash or bind
+  // join instead of the PSO-fed merge).
+  const std::string query =
+      "SELECT ?a ?c WHERE { ?a <e0> ?b . ?b <e1> ?c . }";
+  auto plan = engine_.ExplainString(query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->find("IndexScan[pso]"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("IndexScan[ops]"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("IndexScan[sop]"), std::string::npos) << *plan;
+
+  auto streamed = engine_.ExecuteString(query);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  engine_.set_exec_mode(ExecMode::kMaterialized);
+  auto legacy = engine_.ExecuteString(query);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(streamed->NumRows(), legacy->NumRows());
+  EXPECT_GT(streamed->NumRows(), 0u);
+}
+
 TEST_F(PlanTest, AskStopsAtFirstRow) {
   auto q = ParseQuery("ASK { ?x a <T> . ?x <color> <c1> . }");
   ASSERT_TRUE(q.ok());

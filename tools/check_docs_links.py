@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fail when README.md or docs/*.md contain broken relative links.
+
+Checks every inline markdown link/image target ``[text](target)``:
+
+* absolute URLs (anything with a scheme, e.g. ``https:``) are skipped;
+* pure in-page anchors (``#section``) are skipped;
+* everything else must resolve — relative to the containing file — to an
+  existing file or directory after stripping any ``#fragment``.
+
+Fenced code blocks are ignored so example snippets are never treated as
+links. Runs as the ``docs_link_check`` ctest entry (label ``docs``) and
+as an explicit CI step; exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE_RE = re.compile(r"```.*?```", re.S)
+
+
+def broken_links(md: Path):
+    text = FENCE_RE.sub("", md.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if SCHEME_RE.match(target) or target.startswith("#"):
+            continue
+        path = (md.parent / target.split("#", 1)[0]).resolve()
+        if not path.exists():
+            yield f"{md.relative_to(ROOT)}: broken link -> {target}"
+
+
+def main() -> int:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    files = [f for f in files if f.is_file()]
+    errors = [err for f in files for err in broken_links(f)]
+    if errors:
+        print("\n".join(errors))
+        print(f"\n{len(errors)} broken link(s) across {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} markdown files; all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
