@@ -1,0 +1,164 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace kgnet::common {
+
+namespace {
+
+/// True while this thread is executing chunks — on a pool worker for
+/// its whole life, on a caller thread for the duration of its own
+/// ParallelFor. A nested ParallelFor runs inline instead of deadlocking
+/// on the pool (or the non-recursive job mutex) it is already inside.
+thread_local bool t_in_parallel = false;
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("KGNET_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// 0 = not yet resolved from the environment.
+std::atomic<int> g_num_threads{0};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::num_threads() {
+  int n = g_num_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = DefaultThreads();
+    g_num_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  g_num_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t target) {
+  while (workers_.size() < target)
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+}
+
+void ThreadPool::RunChunks() {
+  // The job fields are stable for the whole job: workers read them after
+  // acquiring mu_ in WorkerLoop (which orders them after the caller's
+  // writes), and the caller does not return from ParallelFor — let alone
+  // publish a new job — before every claimed chunk finished.
+  for (;;) {
+    const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_chunks_) return;
+    const size_t b = job_begin_ + c * job_grain_;
+    const size_t e = std::min(job_end_, b + job_grain_);
+    try {
+      (*job_fn_)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_parallel = true;
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    // Admit at most max_participants_ workers per job (SetNumThreads
+    // governs concurrency even when earlier jobs spawned more workers),
+    // and none once the job's caller already observed completion — a
+    // late worker must not touch job state a next job may be rewriting.
+    if (!job_open_ || participants_ >= max_participants_) continue;
+    ++participants_;
+    ++busy_;
+    lk.unlock();
+    RunChunks();
+    lk.lock();
+    --busy_;
+    if (busy_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t chunks = (end - begin + grain - 1) / grain;
+  const int threads = num_threads();
+  if (threads <= 1 || chunks <= 1 || t_in_parallel) {
+    // Inline path: identical chunk bounds, sequential execution, and the
+    // same exception semantics as the pooled path — every chunk runs,
+    // the first exception is rethrown afterwards. (Aborting mid-range
+    // here would make side effects diverge by thread count.)
+    std::exception_ptr first_error;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t b = begin + c * grain;
+      try {
+        fn(b, std::min(end, b + grain));
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  const size_t helpers =
+      std::min<size_t>(static_cast<size_t>(threads), chunks) - 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    EnsureWorkersLocked(helpers);
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = grain;
+    job_chunks_ = chunks;
+    job_fn_ = &fn;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    participants_ = 0;
+    max_participants_ = static_cast<int>(helpers);
+    job_open_ = true;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  t_in_parallel = true;  // chunks re-entering the pool must run inline
+  RunChunks();           // the calling thread participates
+  t_in_parallel = false;
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return busy_ == 0; });
+    // Same lock hold as the final busy_ == 0 observation: no worker can
+    // be admitted between the check and the close.
+    job_open_ = false;
+    job_fn_ = nullptr;
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace kgnet::common

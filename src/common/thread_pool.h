@@ -1,0 +1,109 @@
+// A lazily-started shared worker pool with one primitive: ParallelFor.
+//
+// Every parallel hot path in the tree (dense GEMM tiles, SpMM row
+// ranges, the six permutation-run rebuilds in TripleStore::FlushInserts,
+// the N-Triples parse phase) runs on this one pool, so the process never
+// oversubscribes the machine no matter how many layers go parallel at
+// once. Thread count comes from the KGNET_NUM_THREADS environment
+// variable, or SetNumThreads(), defaulting to hardware_concurrency().
+//
+// Determinism contract: ParallelFor(begin, end, grain, fn) always cuts
+// [begin, end) into the same chunks — chunk i covers
+// [begin + i*grain, min(end, begin + (i+1)*grain)) — regardless of the
+// thread count; only *which thread* runs a chunk varies. Callers whose
+// numeric results depend on work partitioning (per-partition partial
+// buffers reduced in order, per-chunk error slots) can therefore key
+// their state off the chunk bounds and stay bitwise-identical for any
+// KGNET_NUM_THREADS.
+#ifndef KGNET_COMMON_THREAD_POOL_H_
+#define KGNET_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kgnet::common {
+
+/// The process-wide worker pool. Workers start lazily on the first
+/// parallel ParallelFor call and idle between jobs; with one configured
+/// thread (or a single chunk) ParallelFor runs inline and the pool never
+/// starts.
+class ThreadPool {
+ public:
+  /// The shared pool instance.
+  static ThreadPool& Instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads ParallelFor may use, resolved once from KGNET_NUM_THREADS
+  /// (falling back to hardware_concurrency, minimum 1) and overridable
+  /// via SetNumThreads. Counts the calling thread: n means the caller
+  /// plus n-1 pool workers.
+  static int num_threads();
+
+  /// Overrides the thread count (clamped to >= 1) for subsequent
+  /// ParallelFor calls. Benchmarks and determinism tests use this to
+  /// sweep thread counts inside one process.
+  static void SetNumThreads(int n);
+
+  /// Invokes fn(chunk_begin, chunk_end) for every grain-sized chunk of
+  /// [begin, end), across the pool. Blocks until every chunk ran. The
+  /// calling thread participates, so the work uses at most num_threads()
+  /// threads. Chunk bounds are a pure function of (begin, end, grain) —
+  /// see the determinism contract above. An empty range is a no-op; a
+  /// grain of 0 acts as 1. If a chunk throws, the first exception is
+  /// rethrown here after all claimed chunks finished; the pool stays
+  /// usable. Concurrent ParallelFor calls from different threads are
+  /// serialized; a nested call from inside a chunk runs inline on the
+  /// worker (same chunk bounds, sequential).
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  ThreadPool() = default;
+
+  void WorkerLoop();
+  /// Claims and runs chunks of the current job until none remain.
+  void RunChunks();
+  /// Spawns workers until `target` exist. Requires mu_ held.
+  void EnsureWorkersLocked(size_t target);
+
+  std::mutex job_mutex_;  // serializes ParallelFor calls across threads
+
+  std::mutex mu_;  // guards everything below
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  uint64_t epoch_ = 0;   // bumped once per job; workers wake on change
+  bool job_open_ = false;  // false once the job's ParallelFor returned
+  int busy_ = 0;         // workers currently running chunks
+  int participants_ = 0; // workers admitted to the current job
+  int max_participants_ = 0;
+  // Current job; the fields stay valid while its ParallelFor blocks.
+  size_t job_begin_ = 0;
+  size_t job_end_ = 0;
+  size_t job_grain_ = 1;
+  size_t job_chunks_ = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  std::atomic<size_t> next_chunk_{0};
+  std::exception_ptr error_;
+};
+
+/// Convenience wrapper: ThreadPool::Instance().ParallelFor(...).
+inline void ParallelFor(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Instance().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace kgnet::common
+
+#endif  // KGNET_COMMON_THREAD_POOL_H_

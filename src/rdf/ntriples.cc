@@ -1,10 +1,13 @@
 #include "rdf/ntriples.h"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace kgnet::rdf {
 
@@ -124,24 +127,88 @@ Result<ParsedTriple> ParseNTriplesLine(std::string_view line) {
 }
 
 Result<size_t> LoadNTriples(std::string_view document, TripleStore* store) {
+  // Bulk load in bounded windows: split the next kWindow lines off the
+  // document (serial, cheap), parse them in parallel on the shared pool
+  // (term parsing dominates and touches no shared state), then intern
+  // and insert serially in document order — dictionary ids, insertion
+  // results and the partial-load-before-a-parse-error behavior are all
+  // identical to a line-at-a-time load. The window bounds peak memory
+  // (one window of views + parsed terms, never the whole document) and
+  // stops all parse work at the first failing window.
+  constexpr size_t kGrain = 512;    // lines per parallel chunk
+  constexpr size_t kWindow = 16 * kGrain;  // lines per window
+  struct ChunkError {
+    size_t line_no = 0;  // 1-based; 0 = chunk parsed clean
+    std::string message;
+  };
+  std::vector<std::string_view> lines;
+  std::vector<std::optional<ParsedTriple>> parsed;
+  std::vector<ChunkError> errors;
+
   size_t added = 0;
-  size_t line_no = 0;
+  size_t window_first_line = 1;  // 1-based line number of lines[0]
   size_t start = 0;
-  while (start <= document.size()) {
-    size_t end = document.find('\n', start);
-    if (end == std::string_view::npos) end = document.size();
-    std::string_view line = document.substr(start, end - start);
-    ++line_no;
-    start = end + 1;
-    if (StripWhitespace(line).empty()) continue;
-    auto parsed = ParseNTriplesLine(line);
-    if (!parsed.ok()) {
-      if (parsed.status().code() == StatusCode::kNotFound) continue;
-      return Status::ParseError("line " + std::to_string(line_no) + ": " +
-                                parsed.status().message());
+  bool more = true;
+  while (more) {
+    lines.clear();
+    while (lines.size() < kWindow) {
+      if (start > document.size()) {
+        more = false;
+        break;
+      }
+      size_t end = document.find('\n', start);
+      if (end == std::string_view::npos) end = document.size();
+      lines.push_back(document.substr(start, end - start));
+      if (end == document.size()) {
+        more = false;
+        break;
+      }
+      start = end + 1;
     }
-    if (store->Insert(parsed->s, parsed->p, parsed->o)) ++added;
-    if (end == document.size()) break;
+    if (lines.empty()) break;
+
+    // Parallel parse; each chunk records its first error into its own
+    // slot (chunk bounds are a fixed function of the grain, so slot
+    // indexing is deterministic).
+    parsed.assign(lines.size(), std::nullopt);
+    errors.assign((lines.size() + kGrain - 1) / kGrain, ChunkError{});
+    common::ParallelFor(0, lines.size(), kGrain, [&](size_t b, size_t e) {
+      ChunkError& err = errors[b / kGrain];
+      for (size_t i = b; i < e; ++i) {
+        if (StripWhitespace(lines[i]).empty()) continue;
+        auto r = ParseNTriplesLine(lines[i]);
+        if (r.ok()) {
+          parsed[i] = std::move(*r);
+        } else if (r.status().code() != StatusCode::kNotFound) {
+          err.line_no = window_first_line + i;
+          err.message = r.status().message();
+          return;  // a serial load never reaches past its first error
+        }
+      }
+    });
+
+    // First failing line of this window, in document order.
+    const ChunkError* first_error = nullptr;
+    for (const ChunkError& err : errors) {
+      if (err.line_no != 0) {
+        first_error = &err;
+        break;
+      }
+    }
+
+    // Serial insert in document order, up to the first error.
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      if (first_error != nullptr &&
+          window_first_line + i >= first_error->line_no)
+        break;
+      if (!parsed[i]) continue;
+      if (store->Insert(parsed[i]->s, parsed[i]->p, parsed[i]->o)) ++added;
+    }
+    if (first_error != nullptr)
+      return Status::ParseError("line " +
+                                std::to_string(first_error->line_no) + ": " +
+                                first_error->message);
+    window_first_line += lines.size();
   }
   return added;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "common/thread_pool.h"
 #include "tensor/memory_meter.h"
 
 namespace kgnet::rdf {
@@ -142,28 +143,37 @@ void TripleStore::RebuildRun(const Index& idx,
 
 void TripleStore::FlushInserts() const {
   if (pending_.empty() && pending_erase_.empty()) return;
-  for (const Index& idx : indexes_) {
-    if (!idx.present) continue;
-    // Decode the old run minus the buffered erases, then merge the
-    // buffered inserts in permuted sort order and re-encode. One O(n)
-    // rebuild per flush, the same asymptotics as the old in-place merge
-    // of flat sorted rows.
-    std::vector<IndexKey> keys;
-    keys.reserve(idx.run.size() + pending_.size());
-    RunCursor c = idx.run.Cursor(0, idx.run.size());
-    IndexKey k;
-    while (c.Next(&k)) {
-      if (!pending_erase_.empty() &&
-          pending_erase_.count(Unpermute(idx.order, k)) > 0)
-        continue;
-      keys.push_back(k);
+  // The per-order rebuilds are independent — each task reads the shared
+  // pending buffers (const) and writes only its own index's run and
+  // MemoryMeter pool slot — so the six sorts + run encodes fan out on
+  // the shared pool, one task per maintained order. Safe under the
+  // store's single-writer rule (no reader runs concurrently with a
+  // mutation, and the flush is the mutation).
+  common::ParallelFor(0, indexes_.size(), 1, [&](size_t b, size_t e) {
+    for (size_t oi = b; oi < e; ++oi) {
+      const Index& idx = indexes_[oi];
+      if (!idx.present) continue;
+      // Decode the old run minus the buffered erases, then merge the
+      // buffered inserts in permuted sort order and re-encode. One O(n)
+      // rebuild per flush, the same asymptotics as the old in-place
+      // merge of flat sorted rows.
+      std::vector<IndexKey> keys;
+      keys.reserve(idx.run.size() + pending_.size());
+      RunCursor c = idx.run.Cursor(0, idx.run.size());
+      IndexKey k;
+      while (c.Next(&k)) {
+        if (!pending_erase_.empty() &&
+            pending_erase_.count(Unpermute(idx.order, k)) > 0)
+          continue;
+        keys.push_back(k);
+      }
+      const auto old_end = static_cast<std::ptrdiff_t>(keys.size());
+      for (const Triple& t : pending_) keys.push_back(Permute(idx.order, t));
+      std::sort(keys.begin() + old_end, keys.end());
+      std::inplace_merge(keys.begin(), keys.begin() + old_end, keys.end());
+      RebuildRun(idx, keys);
     }
-    const auto old_end = static_cast<std::ptrdiff_t>(keys.size());
-    for (const Triple& t : pending_) keys.push_back(Permute(idx.order, t));
-    std::sort(keys.begin() + old_end, keys.end());
-    std::inplace_merge(keys.begin(), keys.begin() + old_end, keys.end());
-    RebuildRun(idx, keys);
-  }
+  });
   pending_.clear();
   pending_erase_.clear();
 }

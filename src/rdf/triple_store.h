@@ -87,8 +87,10 @@ class TripleCursor {
 /// loading stays O(n log n); each flush rebuilds the affected runs.
 /// The store is single-writer; readers must not run concurrently with
 /// mutation (the KGNet pipeline is phase-structured, so this suffices).
-/// Index bytes are also reported per order to the thread-local
-/// tensor::MemoryMeter index pool.
+/// A flush rebuilds the maintained permutation runs in parallel on the
+/// shared thread pool — one task per order — which is safe under the
+/// same single-writer rule. Index bytes are also reported per order to
+/// the process-wide tensor::MemoryMeter index pool.
 class TripleStore {
  public:
   /// Index configuration knobs, fixed at construction.
@@ -115,7 +117,7 @@ class TripleStore {
   explicit TripleStore(const Options& options);
   ~TripleStore();
 
-  // Index byte accounting registers with the thread-local MemoryMeter:
+  // Index byte accounting registers with the process-wide MemoryMeter:
   // moves hand the registered bytes over (the source is left empty);
   // copies are disallowed.
   TripleStore(const TripleStore&) = delete;

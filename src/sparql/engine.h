@@ -67,6 +67,11 @@ struct ExecInfo {
 /// operator where every variable they mention is bound; SELECT/ASK
 /// results stream — UNION and OPTIONAL groups included, via UnionAll and
 /// LeftOuterJoin operators — so LIMIT queries stop scanning early.
+///
+/// Single-triple-pattern SELECT/ASK queries (no FILTER/UNION/OPTIONAL/
+/// sub-SELECT) skip the operator tree entirely and answer from one
+/// index cursor — planning such a query costs more than running it.
+/// Pass an ExecInfo to see (and execute) the full planned tree instead.
 class QueryEngine {
  public:
   explicit QueryEngine(rdf::TripleStore* store) : store_(store) {}

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
 #include <set>
 #include <sstream>
 
@@ -88,13 +87,24 @@ std::string SlotList(const std::vector<int>& slots, const VarTable& vars) {
   return s;
 }
 
-/// The running left-deep plan under construction.
+/// The running left-deep plan under construction. `bound` is indexed by
+/// slot (flat flags, not a node-based set: the planner runs on every
+/// query, and rb-tree allocations dominate planning time on selective
+/// sub-millisecond queries).
 struct Running {
   std::unique_ptr<Operator> op;
   std::unique_ptr<PlanNode> desc;
   size_t est = 1;
   int ordered = -1;
-  std::set<int> bound;
+  std::vector<char> bound;  // one flag per variable slot
+
+  bool IsBound(int slot) const {
+    return slot >= 0 && static_cast<size_t>(slot) < bound.size() &&
+           bound[static_cast<size_t>(slot)] != 0;
+  }
+  void Bind(const std::vector<int>& slots) {
+    for (int s : slots) bound[static_cast<size_t>(s)] = 1;
+  }
 };
 
 std::unique_ptr<PlanNode> LeafNode(PlanNode::Kind kind, std::string label,
@@ -147,7 +157,7 @@ std::string RenderPlanTree(const PlanNode& root) {
 
 Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                            const std::vector<Solution>* seeds,
-                           ExecStats* stats) {
+                           ExecStats* stats, bool build_desc) {
   rdf::TripleStore* store = ctx->store;
   const double log_n = std::log2(static_cast<double>(store->size()) + 2.0);
 
@@ -176,20 +186,43 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     const Solution empty(width, kNullTermId);
     ps.consts = BindPattern(ps.cp, empty);
     ps.out_est = std::min(store->EstimateCardinality(ps.consts), kMaxEst);
-    std::set<int> slot_set;
     for (int pos = 0; pos < 3; ++pos) {
       int slot = SlotAtPosition(ps.cp, pos);
-      if (slot >= 0) slot_set.insert(slot);
+      if (slot >= 0) ps.slots.push_back(slot);
     }
-    ps.slots.assign(slot_set.begin(), slot_set.end());
+    std::sort(ps.slots.begin(), ps.slots.end());
+    ps.slots.erase(std::unique(ps.slots.begin(), ps.slots.end()),
+                   ps.slots.end());
+    // Bound triple positions of the pattern (constants only).
+    const bool bound_pos[3] = {ps.consts.s != kNullTermId,
+                               ps.consts.p != kNullTermId,
+                               ps.consts.o != kNullTermId};
+    const int num_bound =
+        (bound_pos[0] ? 1 : 0) + (bound_pos[1] ? 1 : 0) + (bound_pos[2] ? 1 : 0);
     ps.choices.reserve(static_cast<size_t>(rdf::kNumIndexOrders));
     for (int i = 0; i < rdf::kNumIndexOrders; ++i) {
       const IndexOrder order = static_cast<IndexOrder>(i);
       if (!store->has_index(order)) continue;
       ScanChoice c;
       c.order = order;
-      c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
       auto positions = IndexOrderPositions(c.order);
+      // Seekable prefix: leading key slots whose triple position is
+      // bound. Its length alone often determines the range without an
+      // index lookup: an empty prefix scans the whole store, and a
+      // prefix covering *every* bound position selects exactly the
+      // pattern's matches — the exact cardinality already computed
+      // above. Only strict in-between prefixes need a skip-table probe.
+      int prefix_len = 0;
+      while (prefix_len < 3 && bound_pos[positions[static_cast<size_t>(
+                                   prefix_len)]])
+        ++prefix_len;
+      if (prefix_len == 0) {
+        c.range = std::min(store->size(), kMaxEst);
+      } else if (prefix_len == num_bound) {
+        c.range = ps.out_est;
+      } else {
+        c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
+      }
       c.ordered_slot = -1;
       for (int k = 0; k < 3; ++k) {
         int slot = SlotAtPosition(ps.cp, positions[k]);
@@ -204,15 +237,20 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     }
   }
 
-  // Slots appearing in more than one pattern: candidate merge-join keys.
-  std::set<int> join_slots;
+  // Slots appearing in more than one pattern: candidate merge-join keys
+  // (flat per-slot counters; see the Running comment).
+  std::vector<char> join_slot(width, 0);
   {
-    std::map<int, int> uses;
+    std::vector<int> uses(width, 0);
     for (const PatternState& ps : patterns)
-      for (int slot : ps.slots) ++uses[slot];
-    for (const auto& [slot, n] : uses)
-      if (n > 1) join_slots.insert(slot);
+      for (int slot : ps.slots)
+        if (++uses[static_cast<size_t>(slot)] > 1)
+          join_slot[static_cast<size_t>(slot)] = 1;
   }
+  auto is_join_slot = [&](int slot) {
+    return slot >= 0 && static_cast<size_t>(slot) < join_slot.size() &&
+           join_slot[static_cast<size_t>(slot)] != 0;
+  };
 
   // Cheapest scan per pattern; among equal ranges prefer one streaming in
   // join-variable order, so the initial scan can feed a SortMergeJoin —
@@ -226,8 +264,8 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       const ScanChoice& c = ps.choices[i];
       const ScanChoice& best = ps.choices[ps.cheapest];
       if (c.range < best.range ||
-          (c.range == best.range && join_slots.count(c.ordered_slot) > 0 &&
-           join_slots.count(best.ordered_slot) == 0)) {
+          (c.range == best.range && is_join_slot(c.ordered_slot) &&
+           !is_join_slot(best.ordered_slot))) {
         ps.cheapest = i;
       }
     }
@@ -235,6 +273,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
 
   // --- seed relation ---
   Running run;
+  run.bound.assign(width, 0);
   bool have_relation = false;
   bool use_seeds = false;
   if (seeds != nullptr) {
@@ -247,9 +286,10 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
   }
   if (use_seeds) {
     run.op = std::make_unique<SeedScan>(seeds, width);
-    run.desc = LeafNode(PlanNode::Kind::kSeed,
-                        "Seed(n=" + std::to_string(seeds->size()) + ")",
-                        seeds->size());
+    if (build_desc)
+      run.desc = LeafNode(PlanNode::Kind::kSeed,
+                          "Seed(n=" + std::to_string(seeds->size()) + ")",
+                          seeds->size());
     run.est = seeds->size();
     run.ordered = -1;
     // A slot counts as seed-bound only when every seed row binds it.
@@ -262,7 +302,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
             break;
           }
         }
-        if (in_all) run.bound.insert(static_cast<int>(slot));
+        if (in_all) run.bound[slot] = 1;
       }
     }
     have_relation = true;
@@ -275,17 +315,19 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       if (cf.attached) continue;
       bool ok = true;
       for (int slot : cf.slots)
-        if (run.bound.count(slot) == 0) {
+        if (!run.IsBound(slot)) {
           ok = false;
           break;
         }
       if (!ok) continue;
       cf.attached = true;
       ready.push_back({cf.expr, {}});
-      run.desc = MakePlanNode(PlanNode::Kind::kFilter,
-                              "Filter(" + SerializeExpr(cf.expr) + ")",
-                              std::move(run.desc));
-      run.desc->est_rows = run.est;
+      if (build_desc) {
+        run.desc = MakePlanNode(PlanNode::Kind::kFilter,
+                                "Filter(" + SerializeExpr(cf.expr) + ")",
+                                std::move(run.desc));
+        run.desc->est_rows = run.est;
+      }
     }
     if (!ready.empty())
       run.op = std::make_unique<FilterOp>(std::move(run.op), std::move(ready),
@@ -310,11 +352,13 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     PatternState& ps = patterns[best];
     const ScanChoice& c = ps.choices[ps.cheapest];
     run.op = make_scan(ps, &c);
-    run.desc = LeafNode(PlanNode::Kind::kIndexScan,
-                        PatternLabel(ps, IndexOrderName(c.order)), ps.out_est);
+    if (build_desc)
+      run.desc = LeafNode(PlanNode::Kind::kIndexScan,
+                          PatternLabel(ps, IndexOrderName(c.order)),
+                          ps.out_est);
     run.est = ps.out_est;
     run.ordered = c.ordered_slot;
-    run.bound.insert(ps.slots.begin(), ps.slots.end());
+    run.Bind(ps.slots);
     ps.joined = true;
     --remaining;
     have_relation = true;
@@ -323,7 +367,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     // No patterns and no seeds: the BGP contributes the single empty row.
     std::vector<Solution> one{Solution(width, kNullTermId)};
     run.op = std::make_unique<SeedScan>(std::move(one), width);
-    run.desc = LeafNode(PlanNode::Kind::kSeed, "Seed(n=1)", 1);
+    if (build_desc) run.desc = LeafNode(PlanNode::Kind::kSeed, "Seed(n=1)", 1);
     run.est = 1;
   }
   attach_filters();
@@ -344,7 +388,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     for (const PatternState& ps : patterns) {
       if (ps.joined) continue;
       for (int slot : ps.slots)
-        if (run.bound.count(slot)) any_shared = true;
+        if (run.IsBound(slot)) any_shared = true;
     }
     const double kL = static_cast<double>(run.est);
     Candidate best;
@@ -363,7 +407,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       if (ps.joined) continue;
       std::vector<int> shared;
       for (int slot : ps.slots)
-        if (run.bound.count(slot)) shared.push_back(slot);
+        if (run.IsBound(slot)) shared.push_back(slot);
       if (shared.empty()) {
         if (any_shared) continue;  // join connected patterns first
         Candidate c;
@@ -426,13 +470,16 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     switch (best.algo) {
       case Algo::kMerge: {
         auto right = make_scan(ps, best.choice);
-        auto rdesc = LeafNode(PlanNode::Kind::kIndexScan,
-                              PatternLabel(ps, IndexOrderName(best.choice->order)),
-                              ps.out_est);
-        std::string label =
-            "MergeJoin(?" + ctx->vars.name(run.ordered) + ")";
-        run.desc = JoinNode(PlanNode::Kind::kMergeJoin, std::move(label),
-                            best.out, std::move(run.desc), std::move(rdesc));
+        if (build_desc) {
+          auto rdesc =
+              LeafNode(PlanNode::Kind::kIndexScan,
+                       PatternLabel(ps, IndexOrderName(best.choice->order)),
+                       ps.out_est);
+          std::string label =
+              "MergeJoin(?" + ctx->vars.name(run.ordered) + ")";
+          run.desc = JoinNode(PlanNode::Kind::kMergeJoin, std::move(label),
+                              best.out, std::move(run.desc), std::move(rdesc));
+        }
         run.op = std::make_unique<SortMergeJoin>(std::move(run.op),
                                                  std::move(right), run.ordered);
         // run.ordered stays: merge output is ordered on the key.
@@ -440,12 +487,14 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       }
       case Algo::kBind: {
         auto right = make_scan(ps, nullptr);
-        auto rdesc = LeafNode(PlanNode::Kind::kIndexScan,
-                              PatternLabel(ps, "auto"), ps.out_est);
-        std::string label =
-            "BindJoin(" + SlotList(best.shared, ctx->vars) + ")";
-        run.desc = JoinNode(PlanNode::Kind::kBindJoin, std::move(label),
-                            best.out, std::move(run.desc), std::move(rdesc));
+        if (build_desc) {
+          auto rdesc = LeafNode(PlanNode::Kind::kIndexScan,
+                                PatternLabel(ps, "auto"), ps.out_est);
+          std::string label =
+              "BindJoin(" + SlotList(best.shared, ctx->vars) + ")";
+          run.desc = JoinNode(PlanNode::Kind::kBindJoin, std::move(label),
+                              best.out, std::move(run.desc), std::move(rdesc));
+        }
         run.op = std::make_unique<BindJoin>(std::move(run.op),
                                             std::move(right));
         // BindJoin preserves the outer order; run.ordered unchanged.
@@ -453,14 +502,18 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       }
       case Algo::kHash: {
         auto build = make_scan(ps, best.choice);
-        auto bdesc = LeafNode(PlanNode::Kind::kIndexScan,
-                              PatternLabel(ps, IndexOrderName(best.choice->order)),
-                              ps.out_est);
-        std::string label =
-            best.cross ? "HashJoin(cross)"
-                       : "HashJoin(" + SlotList(best.shared, ctx->vars) + ")";
-        run.desc = JoinNode(PlanNode::Kind::kHashJoin, std::move(label),
-                            best.out, std::move(run.desc), std::move(bdesc));
+        if (build_desc) {
+          auto bdesc =
+              LeafNode(PlanNode::Kind::kIndexScan,
+                       PatternLabel(ps, IndexOrderName(best.choice->order)),
+                       ps.out_est);
+          std::string label =
+              best.cross
+                  ? "HashJoin(cross)"
+                  : "HashJoin(" + SlotList(best.shared, ctx->vars) + ")";
+          run.desc = JoinNode(PlanNode::Kind::kHashJoin, std::move(label),
+                              best.out, std::move(run.desc), std::move(bdesc));
+        }
         run.op = std::make_unique<HashJoin>(std::move(run.op),
                                             std::move(build), best.shared);
         // The symmetric hash join interleaves its two inputs, so the
@@ -470,7 +523,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       }
     }
     run.est = best.out;
-    run.bound.insert(ps.slots.begin(), ps.slots.end());
+    run.Bind(ps.slots);
     ps.joined = true;
     --remaining;
     attach_filters();
@@ -486,11 +539,13 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
       if (cf.attached) continue;
       cf.attached = true;
       lenient.push_back({cf.expr, cf.slots});
-      run.desc = MakePlanNode(
-          PlanNode::Kind::kFilter,
-          "Filter(" + SerializeExpr(cf.expr) + ") [if-bound]",
-          std::move(run.desc));
-      run.desc->est_rows = run.est;
+      if (build_desc) {
+        run.desc = MakePlanNode(
+            PlanNode::Kind::kFilter,
+            "Filter(" + SerializeExpr(cf.expr) + ") [if-bound]",
+            std::move(run.desc));
+        run.desc->est_rows = run.est;
+      }
     }
     if (!lenient.empty())
       run.op = std::make_unique<FilterOp>(std::move(run.op),
@@ -532,8 +587,9 @@ void RegisterGroupVars(const GraphPattern& gp, EvalContext* ctx) {
 }
 
 Plan BuildGroupPlan(const GraphPattern& gp, EvalContext* ctx,
-                    const std::vector<Solution>* seeds, ExecStats* stats) {
-  Plan run = PlanBasicGraphPattern(gp, ctx, seeds, stats);
+                    const std::vector<Solution>* seeds, ExecStats* stats,
+                    bool build_desc) {
+  Plan run = PlanBasicGraphPattern(gp, ctx, seeds, stats, build_desc);
 
   // UNION chains: the running plan drives every alternative per row; a
   // row multiplies by its matching alternatives (and drops when none
@@ -541,32 +597,38 @@ Plan BuildGroupPlan(const GraphPattern& gp, EvalContext* ctx,
   // the materialized semantics while streaming.
   for (const auto& alternatives : gp.unions) {
     std::vector<std::unique_ptr<Operator>> branches;
-    auto unode = std::make_unique<PlanNode>();
-    unode->kind = PlanNode::Kind::kUnion;
-    unode->label =
-        "Union(" + std::to_string(alternatives.size()) + " branches)";
-    unode->children.push_back(std::move(run.desc));
+    std::unique_ptr<PlanNode> unode;
+    if (build_desc) {
+      unode = std::make_unique<PlanNode>();
+      unode->kind = PlanNode::Kind::kUnion;
+      unode->label =
+          "Union(" + std::to_string(alternatives.size()) + " branches)";
+      unode->children.push_back(std::move(run.desc));
+    }
     size_t est = 0;
     for (const GraphPattern& alt : alternatives) {
-      Plan branch = BuildGroupPlan(alt, ctx, nullptr, stats);
+      Plan branch = BuildGroupPlan(alt, ctx, nullptr, stats, build_desc);
       est = SatAdd(est, JoinEst(run.est_rows, branch.est_rows));
       branches.push_back(std::move(branch.exec));
-      unode->children.push_back(std::move(branch.desc));
+      if (build_desc) unode->children.push_back(std::move(branch.desc));
     }
-    unode->est_rows = est;
+    if (build_desc) {
+      unode->est_rows = est;
+      run.desc = std::move(unode);
+    }
     run.exec = std::make_unique<BindJoin>(
         std::move(run.exec), std::make_unique<UnionAll>(std::move(branches)));
-    run.desc = std::move(unode);
     run.est_rows = est;
   }
 
   // OPTIONAL groups: a streaming left-outer join per group.
   for (const GraphPattern& opt : gp.optionals) {
-    Plan inner = BuildGroupPlan(opt, ctx, nullptr, stats);
+    Plan inner = BuildGroupPlan(opt, ctx, nullptr, stats, build_desc);
     const size_t est =
         std::max(run.est_rows, JoinEst(run.est_rows, inner.est_rows));
-    run.desc = JoinNode(PlanNode::Kind::kLeftJoin, "LeftJoin(optional)", est,
-                        std::move(run.desc), std::move(inner.desc));
+    if (build_desc)
+      run.desc = JoinNode(PlanNode::Kind::kLeftJoin, "LeftJoin(optional)", est,
+                          std::move(run.desc), std::move(inner.desc));
     run.exec = std::make_unique<LeftOuterJoin>(std::move(run.exec),
                                                std::move(inner.exec));
     run.est_rows = est;
@@ -577,11 +639,12 @@ Plan BuildGroupPlan(const GraphPattern& gp, EvalContext* ctx,
 }  // namespace
 
 Plan PlanGroupPattern(const GraphPattern& gp, EvalContext* ctx,
-                      const std::vector<Solution>* seeds, ExecStats* stats) {
+                      const std::vector<Solution>* seeds, ExecStats* stats,
+                      bool build_desc) {
   // Fix the solution width before any operator is built: sub-plans of
   // nested groups must all agree on it.
   RegisterGroupVars(gp, ctx);
-  Plan plan = BuildGroupPlan(gp, ctx, seeds, stats);
+  Plan plan = BuildGroupPlan(gp, ctx, seeds, stats, build_desc);
   plan.width = ctx->vars.size();
   return plan;
 }

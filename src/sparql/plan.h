@@ -88,9 +88,15 @@ struct Plan {
 /// Filters whose variables the plan cannot prove bound attach at the top
 /// in lenient mode (evaluated only on rows binding all their variables),
 /// matching the legacy evaluator's apply-when-ready semantics.
+///
+/// `build_desc` controls whether the EXPLAIN description tree (labels,
+/// PlanNode allocations) is built alongside the operators; executions
+/// that never render a plan pass false and skip that string work — it
+/// is measurable on sub-millisecond selective queries. With false,
+/// Plan::desc is null and ToString() returns "".
 Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                            const std::vector<Solution>* seeds,
-                           ExecStats* stats);
+                           ExecStats* stats, bool build_desc = true);
 
 /// Compiles a *full* group pattern — BGP + FILTERs, then UNION chains,
 /// then OPTIONAL groups, recursively — into one streaming plan, so those
@@ -107,7 +113,8 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
 /// sub-SELECTs inside UNION/OPTIONAL groups are ignored, exactly like the
 /// materialized evaluator (only top-level sub-SELECTs seed the query).
 Plan PlanGroupPattern(const GraphPattern& gp, EvalContext* ctx,
-                      const std::vector<Solution>* seeds, ExecStats* stats);
+                      const std::vector<Solution>* seeds, ExecStats* stats,
+                      bool build_desc = true);
 
 }  // namespace kgnet::sparql
 

@@ -4,7 +4,31 @@
 #include <cmath>
 #include <utility>
 
+#include "common/thread_pool.h"
+
 namespace kgnet::tensor {
+
+namespace {
+
+// Rows per parallel task in the row-partitioned sparse products.
+constexpr size_t kSpmmGrain = 64;
+
+// SpMMTransposed scatters into shared output rows, so its parallel path
+// accumulates per-partition partial outputs and reduces them in fixed
+// ascending partition order. The partition count is a pure function of
+// the matrix shape — never of the thread count — which keeps results
+// bitwise identical for any KGNET_NUM_THREADS (partitioning only pays
+// for itself on large inputs; small ones take the serial path).
+constexpr size_t kMaxTransposePartitions = 8;
+constexpr size_t kMinRowsPerTransposePartition = 256;
+
+size_t TransposePartitions(size_t rows) {
+  return std::max<size_t>(
+      1, std::min(kMaxTransposePartitions,
+                  rows / kMinRowsPerTransposePartition));
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(size_t rows, size_t cols, std::vector<CooEntry> entries)
     : rows_(rows), cols_(cols) {
@@ -78,28 +102,70 @@ void CsrMatrix::Unaccount() { MemoryMeter::Instance().Release(ByteSize()); }
 Matrix CsrMatrix::SpMM(const Matrix& x) const {
   Matrix y(rows_, x.cols());
   const size_t d = x.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    float* yrow = y.Row(r);
-    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float v = values_[e];
-      const float* xrow = x.Row(col_idx_[e]);
-      for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+  // Row-partitioned: each output row is accumulated serially, in CSR
+  // entry order, by exactly one thread — bitwise-deterministic for any
+  // thread count.
+  common::ParallelFor(0, rows_, kSpmmGrain, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* yrow = y.Row(r);
+      for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const float v = values_[e];
+        const float* xrow = x.Row(col_idx_[e]);
+        for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   return y;
 }
 
 Matrix CsrMatrix::SpMMTransposed(const Matrix& x) const {
   Matrix y(cols_, x.cols());
   const size_t d = x.cols();
-  for (size_t r = 0; r < rows_; ++r) {
-    const float* xrow = x.Row(r);
-    for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-      const float v = values_[e];
-      float* yrow = y.Row(col_idx_[e]);
-      for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+  const size_t parts = TransposePartitions(rows_);
+  if (parts <= 1 || d == 0) {
+    for (size_t r = 0; r < rows_; ++r) {
+      const float* xrow = x.Row(r);
+      for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const float v = values_[e];
+        float* yrow = y.Row(col_idx_[e]);
+        for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+      }
     }
+    return y;
   }
+  // Every entry of row r scatters into y.Row(col); two input rows on
+  // different threads may hit the same output row, so each fixed
+  // partition of the input rows accumulates a private full-size partial.
+  const size_t span = (rows_ + parts - 1) / parts;
+  std::vector<std::vector<float>> partials(parts);
+  common::ParallelFor(0, parts, 1, [&](size_t p0, size_t p1) {
+    for (size_t pi = p0; pi < p1; ++pi) {
+      std::vector<float>& buf = partials[pi];
+      buf.assign(y.size(), 0.0f);
+      const size_t r_end = std::min(rows_, (pi + 1) * span);
+      for (size_t r = pi * span; r < r_end; ++r) {
+        const float* xrow = x.Row(r);
+        for (uint64_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+          const float v = values_[e];
+          float* yrow = buf.data() + static_cast<size_t>(col_idx_[e]) * d;
+          for (size_t c = 0; c < d; ++c) yrow[c] += v * xrow[c];
+        }
+      }
+    }
+  });
+  // Reduce the partials in ascending partition order. The reduction is
+  // row-partitioned, so parallelizing it does not change any element's
+  // addition order.
+  common::ParallelFor(0, cols_, kSpmmGrain, [&](size_t r0, size_t r1) {
+    for (size_t pi = 0; pi < parts; ++pi) {
+      const float* src = partials[pi].data();
+      for (size_t r = r0; r < r1; ++r) {
+        float* yrow = y.Row(r);
+        const float* srow = src + r * d;
+        for (size_t c = 0; c < d; ++c) yrow[c] += srow[c];
+      }
+    }
+  });
   return y;
 }
 

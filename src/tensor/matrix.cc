@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace kgnet::tensor {
+
+namespace {
+
+// Output rows per GEMM task. Each task accumulates its tile in a local
+// double buffer (tile_rows x n), so a B row fetched from memory once
+// serves the whole tile (cache blocking) and every output element still
+// sums its k terms in ascending-p order — the result is bitwise
+// identical for any tiling and any thread count.
+constexpr size_t kGemmRowTile = 16;
+
+}  // namespace
 
 void Matrix::Zero() { std::fill(data_.begin(), data_.end(), 0.0f); }
 
@@ -96,54 +109,80 @@ void Matrix::ScatterAddRows(const std::vector<size_t>& idx,
   }
 }
 
+// All three GEMM variants partition the *output* rows across the shared
+// pool (each element is written by exactly one thread) and accumulate in
+// double with a fixed, ascending-p term order, so results are bitwise
+// identical for any KGNET_NUM_THREADS. The dense inner loops carry no
+// per-element zero test: skipping zeros costs a branch per element on
+// dense inputs, and genuinely sparse products belong to CsrMatrix.
+
 Matrix Matrix::MatMul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
+  const size_t k = a.cols(), n = b.cols();
+  if (c.rows() == 0 || n == 0 || k == 0) return c;
+  common::ParallelFor(0, c.rows(), kGemmRowTile, [&](size_t r0, size_t r1) {
+    std::vector<double> acc((r1 - r0) * n, 0.0);
     for (size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b.Row(p);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (size_t i = r0; i < r1; ++i) {
+        const double av = a.Row(i)[p];
+        double* out = acc.data() + (i - r0) * n;
+        for (size_t j = 0; j < n; ++j) out[j] += av * brow[j];
+      }
     }
-  }
+    for (size_t i = r0; i < r1; ++i) {
+      float* crow = c.Row(i);
+      const double* out = acc.data() + (i - r0) * n;
+      for (size_t j = 0; j < n; ++j) crow[j] = static_cast<float>(out[j]);
+    }
+  });
   return c;
 }
 
 Matrix Matrix::MatMulTransA(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const float* arow = a.Row(p);
-    const float* brow = b.Row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.Row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  const size_t k = a.rows(), n = b.cols();
+  if (c.rows() == 0 || n == 0 || k == 0) return c;
+  common::ParallelFor(0, c.rows(), kGemmRowTile, [&](size_t i0, size_t i1) {
+    std::vector<double> acc((i1 - i0) * n, 0.0);
+    for (size_t p = 0; p < k; ++p) {
+      const float* arow = a.Row(p);
+      const float* brow = b.Row(p);
+      for (size_t i = i0; i < i1; ++i) {
+        const double av = arow[i];
+        double* out = acc.data() + (i - i0) * n;
+        for (size_t j = 0; j < n; ++j) out[j] += av * brow[j];
+      }
     }
-  }
+    for (size_t i = i0; i < i1; ++i) {
+      float* crow = c.Row(i);
+      const double* out = acc.data() + (i - i0) * n;
+      for (size_t j = 0; j < n; ++j) crow[j] = static_cast<float>(out[j]);
+    }
+  });
   return c;
 }
 
 Matrix Matrix::MatMulTransB(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = static_cast<float>(acc);
+  const size_t k = a.cols(), n = b.rows();
+  if (c.rows() == 0 || n == 0) return c;
+  common::ParallelFor(0, c.rows(), kGemmRowTile, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p)
+          acc += static_cast<double>(arow[p]) * brow[p];
+        crow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
   return c;
 }
 

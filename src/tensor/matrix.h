@@ -13,7 +13,7 @@
 namespace kgnet::tensor {
 
 /// A dense row-major float32 matrix. Payload bytes are tracked by the
-/// thread-local MemoryMeter.
+/// process-wide MemoryMeter.
 class Matrix {
  public:
   Matrix() = default;

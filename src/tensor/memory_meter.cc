@@ -3,7 +3,11 @@
 namespace kgnet::tensor {
 
 MemoryMeter& MemoryMeter::Instance() {
-  thread_local MemoryMeter meter;
+  // One shared meter for the whole process: tensors are allocated on the
+  // caller's thread but filled by pool workers, and the triple store's
+  // parallel flush reports index bytes from worker threads — a per-thread
+  // meter would scatter those bytes across meters nobody reads.
+  static MemoryMeter meter;
   return meter;
 }
 

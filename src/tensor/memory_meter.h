@@ -1,44 +1,58 @@
 // Deterministic accounting of live tensor memory.
 //
-// The paper reports peak *training memory* per pipeline. Process RSS is too
-// noisy for a shared test binary, so every Matrix/CsrMatrix registers its
-// payload bytes with the thread-local MemoryMeter. Benchmarks snapshot the
-// peak between Reset() and Peak().
+// The paper reports peak *training memory* per pipeline. Process RSS is
+// too noisy for a shared test binary, so every Matrix/CsrMatrix
+// registers its payload bytes with the process-wide MemoryMeter.
+// Benchmarks snapshot the peak between Reset() and Peak(). The meter is
+// shared by every thread — kernels run tiles on the common ThreadPool
+// and the triple store rebuilds its permutation runs in parallel — so
+// all counters are atomics and the peak updates via a CAS-max loop.
 #ifndef KGNET_TENSOR_MEMORY_METER_H_
 #define KGNET_TENSOR_MEMORY_METER_H_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
 namespace kgnet::tensor {
 
-/// Tracks current and peak live bytes of tensor payloads on this thread,
-/// plus a separate per-tag pool for RDF permutation-index storage.
+/// Tracks current and peak live bytes of tensor payloads across the
+/// whole process, plus a separate per-tag pool for RDF permutation-index
+/// storage. Thread-safe: concurrent Allocate/Release from pool workers
+/// keep the counters exact (the peak is the maximum over the serialized
+/// modification order of `current_`).
 class MemoryMeter {
  public:
-  /// The per-thread meter used by Matrix/CsrMatrix.
+  /// The process-wide meter used by Matrix/CsrMatrix.
   static MemoryMeter& Instance();
 
   /// Registers an allocation of `bytes`.
   void Allocate(size_t bytes) {
-    current_ += bytes;
-    if (current_ > peak_) peak_ = current_;
+    const size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
   }
 
-  /// Registers a release of `bytes`.
+  /// Registers a release of `bytes` (clamped at zero).
   void Release(size_t bytes) {
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    size_t cur = current_.load(std::memory_order_relaxed);
+    while (!current_.compare_exchange_weak(cur, bytes > cur ? 0 : cur - bytes,
+                                           std::memory_order_relaxed)) {
+    }
   }
 
   /// Live bytes right now.
-  size_t Current() const { return current_; }
+  size_t Current() const { return current_.load(std::memory_order_relaxed); }
 
   /// Peak live bytes since the last Reset().
-  size_t Peak() const { return peak_; }
+  size_t Peak() const { return peak_.load(std::memory_order_relaxed); }
 
   /// Resets the peak to the current level.
-  void Reset() { peak_ = current_; }
+  void Reset() { peak_.store(Current(), std::memory_order_relaxed); }
 
   // ------------------------------------------------ index-storage pool --
   // Live bytes of compressed RDF permutation indexes, accounted per
@@ -52,22 +66,28 @@ class MemoryMeter {
 
   /// Registers `bytes` of index storage under `tag`.
   void AllocateIndex(int tag, size_t bytes) {
-    index_bytes_[Tag(tag)] += bytes;
+    index_bytes_[Tag(tag)].fetch_add(bytes, std::memory_order_relaxed);
   }
 
   /// Registers the release of `bytes` of index storage under `tag`.
   void ReleaseIndex(int tag, size_t bytes) {
-    size_t& cell = index_bytes_[Tag(tag)];
-    cell = bytes > cell ? 0 : cell - bytes;
+    std::atomic<size_t>& cell = index_bytes_[Tag(tag)];
+    size_t cur = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(cur, bytes > cur ? 0 : cur - bytes,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
-  /// Live index bytes under `tag`, summed across stores on this thread.
-  size_t IndexBytes(int tag) const { return index_bytes_[Tag(tag)]; }
+  /// Live index bytes under `tag`, summed across stores in this process.
+  size_t IndexBytes(int tag) const {
+    return index_bytes_[Tag(tag)].load(std::memory_order_relaxed);
+  }
 
   /// Live index bytes across every tag.
   size_t TotalIndexBytes() const {
     size_t total = 0;
-    for (size_t b : index_bytes_) total += b;
+    for (const std::atomic<size_t>& b : index_bytes_)
+      total += b.load(std::memory_order_relaxed);
     return total;
   }
 
@@ -77,9 +97,9 @@ class MemoryMeter {
                                            : kNumIndexTags - 1;
   }
 
-  size_t current_ = 0;
-  size_t peak_ = 0;
-  std::array<size_t, kNumIndexTags> index_bytes_{};
+  std::atomic<size_t> current_{0};
+  std::atomic<size_t> peak_{0};
+  std::array<std::atomic<size_t>, kNumIndexTags> index_bytes_{};
 };
 
 /// RAII helper: reports the peak *additional* bytes allocated during its

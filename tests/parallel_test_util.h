@@ -1,0 +1,52 @@
+// Helpers shared by the suites that sweep thread counts to check the
+// parallel hot paths' determinism contract.
+#ifndef KGNET_TESTS_PARALLEL_TEST_UTIL_H_
+#define KGNET_TESTS_PARALLEL_TEST_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace kgnet::testing {
+
+/// RAII: restores the configured pool thread count on scope exit, so a
+/// test cannot leak its override into later suites in the same binary —
+/// even when a fatal ASSERT returns out of the test body early.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(common::ThreadPool::num_threads()) {}
+  ~ThreadCountGuard() { common::ThreadPool::SetNumThreads(saved_); }
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Bitwise equality of two matrix-like payloads (anything with rows(),
+/// cols(), data() and ByteSize()).
+template <typename M>
+bool SameBits(const M& a, const M& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.ByteSize()) == 0;
+}
+
+/// The exact bit pattern of a float/double, for EXPECT_EQ comparisons
+/// that must not tolerate even a one-ulp divergence.
+inline uint64_t BitsOf(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+inline uint32_t BitsOf(float v) {
+  uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace kgnet::testing
+
+#endif  // KGNET_TESTS_PARALLEL_TEST_UTIL_H_

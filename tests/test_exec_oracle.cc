@@ -17,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "sparql/engine.h"
 #include "tensor/rng.h"
+#include "tests/parallel_test_util.h"
 
 namespace kgnet::sparql {
 namespace {
@@ -590,6 +592,52 @@ TEST(ExecOracleTest, LimitOffsetMatchBruteForce) {
   opts.optionals = true;
   opts.modifiers = true;
   RunSeeds(4000, 40, opts);
+}
+
+// The store's index flush (and the N-Triples bulk load above it) runs on
+// the shared thread pool; every query result table must be identical no
+// matter how many pool threads rebuilt the permutation runs. Full result
+// tables (rendered rows, both executor modes) are compared across
+// thread counts on a spread of seeded graph/query cases.
+TEST(ExecOracleTest, ResultTablesIdenticalAcrossThreadCounts) {
+  kgnet::testing::ThreadCountGuard thread_guard;
+  GenOptions opts;
+  opts.filters = true;
+  opts.unions = true;
+  opts.optionals = true;
+
+  using Table = std::vector<std::vector<std::string>>;
+  auto run = [&](int threads) {
+    common::ThreadPool::SetNumThreads(threads);
+    std::vector<Table> tables;
+    for (uint64_t seed = 9000; seed < 9012; ++seed) {
+      tensor::Rng rng(seed);
+      Case c = GenerateCase(&rng, opts);
+      rdf::TripleStore store;
+      for (const RTriple& f : c.facts) {
+        auto to_term = [](const RTerm& t) {
+          return t.iri ? Term::Iri(t.lex)
+                       : Term::TypedLiteral(
+                             t.lex,
+                             "http://www.w3.org/2001/XMLSchema#integer");
+        };
+        store.Insert(to_term(f.s), to_term(f.p), to_term(f.o));
+      }
+      QueryEngine engine(&store);
+      for (ExecMode mode : {ExecMode::kStreaming, ExecMode::kMaterialized}) {
+        engine.set_exec_mode(mode);
+        auto result = engine.ExecuteString(c.sparql);
+        EXPECT_TRUE(result.ok())
+            << result.status() << "\nseed=" << seed << "\n" << c.sparql;
+        tables.push_back(result.ok() ? EngineRows(*result) : Table{});
+      }
+    }
+    return tables;
+  };
+
+  const std::vector<Table> want = run(1);
+  for (int threads : {2, 4})
+    EXPECT_EQ(want, run(threads)) << threads << " threads";
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "gml/gcn.h"
+#include "tests/parallel_test_util.h"
 #include "gml/rgcn.h"
 #include "gml/kge.h"
 #include "gml/metrics.h"
@@ -226,6 +228,38 @@ TEST(NodeClassifierTest, TimeBudgetCutsTrainingShort) {
   TrainReport report;
   ASSERT_TRUE(model.Train(g, c, &report).ok());
   EXPECT_LT(report.epochs_run, 1000u);
+}
+
+// The parallel kernels promise bitwise-identical results for any thread
+// count; a whole training run is the end-to-end check (losses feed
+// through Adam, ReLU masks and early stopping, so a single diverging bit
+// anywhere would surface here).
+TEST(NodeClassifierTest, GcnTrainingBitwiseIdenticalAcrossThreadCounts) {
+  kgnet::testing::ThreadCountGuard thread_guard;
+  GraphData g = NcGraph();
+  TrainConfig c = FastConfig();
+  c.epochs = 5;
+  c.patience = 0;
+  c.max_seconds = 0.0;  // no wall-clock dependence
+
+  auto run = [&](int threads) {
+    common::ThreadPool::SetNumThreads(threads);
+    GcnClassifier model;
+    TrainReport report;
+    EXPECT_TRUE(model.Train(g, c, &report).ok());
+    return report;
+  };
+  const TrainReport want = run(1);
+  for (int threads : {2, 4}) {
+    const TrainReport got = run(threads);
+    EXPECT_EQ(kgnet::testing::BitsOf(want.final_loss),
+              kgnet::testing::BitsOf(got.final_loss))
+        << threads << " threads";
+    EXPECT_EQ(want.metric, got.metric) << threads << " threads";
+    EXPECT_EQ(want.valid_metric, got.valid_metric) << threads << " threads";
+    EXPECT_EQ(want.macro_f1, got.macro_f1) << threads << " threads";
+    EXPECT_EQ(want.epochs_run, got.epochs_run) << threads << " threads";
+  }
 }
 
 TEST(NodeClassifierTest, FactoryRejectsLinkMethods) {

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "tests/parallel_test_util.h"
 #include "tensor/csr_matrix.h"
 #include "tensor/matrix.h"
 #include "tensor/memory_meter.h"
@@ -284,6 +288,80 @@ TEST(LossTest, LogisticLossGradientFiniteDifference) {
     const float lm = LogisticLoss(sm, targets, &unused);
     EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-3);
   }
+}
+
+// ---- parallel kernels: bitwise determinism across thread counts ----
+//
+// Every tensor kernel routed through the shared pool must produce the
+// exact same bits at 1, 2 and 4 threads (the accuracy suites and the
+// exec oracle rely on it). Shapes are chosen to actually hit the
+// parallel paths: several GEMM row tiles and, for SpMMTransposed, more
+// than one fixed input partition (rows >= 512).
+
+using kgnet::testing::SameBits;
+
+TEST(ParallelKernelsTest, BitwiseIdenticalAcrossThreadCounts) {
+  kgnet::testing::ThreadCountGuard thread_guard;
+  Rng rng(11);
+  Matrix a(150, 40), b(40, 24), c(150, 24), d2(96, 40);
+  a.XavierInit(&rng);
+  b.XavierInit(&rng);
+  c.XavierInit(&rng);
+  d2.XavierInit(&rng);
+
+  constexpr size_t kRows = 1500, kCols = 700, kDim = 8;
+  std::vector<CooEntry> entries;
+  for (int i = 0; i < 6000; ++i) {
+    entries.push_back({static_cast<uint32_t>(rng.NextUint(kRows)),
+                       static_cast<uint32_t>(rng.NextUint(kCols)),
+                       rng.NextUniform(-1.0f, 1.0f)});
+  }
+  CsrMatrix sparse(kRows, kCols, std::move(entries));
+  Matrix x(kCols, kDim), xt(kRows, kDim);
+  x.XavierInit(&rng);
+  xt.XavierInit(&rng);
+
+  struct Results {
+    Matrix mm, ta, tb, spmm, spmmt;
+  };
+  auto run = [&](int threads) {
+    common::ThreadPool::SetNumThreads(threads);
+    Results r;
+    r.mm = Matrix::MatMul(a, b);
+    r.ta = Matrix::MatMulTransA(a, c);
+    r.tb = Matrix::MatMulTransB(a, d2);
+    r.spmm = sparse.SpMM(x);
+    r.spmmt = sparse.SpMMTransposed(xt);
+    return r;
+  };
+
+  const Results want = run(1);
+  for (int threads : {2, 4}) {
+    const Results got = run(threads);
+    EXPECT_TRUE(SameBits(want.mm, got.mm)) << "MatMul @ " << threads;
+    EXPECT_TRUE(SameBits(want.ta, got.ta)) << "MatMulTransA @ " << threads;
+    EXPECT_TRUE(SameBits(want.tb, got.tb)) << "MatMulTransB @ " << threads;
+    EXPECT_TRUE(SameBits(want.spmm, got.spmm)) << "SpMM @ " << threads;
+    EXPECT_TRUE(SameBits(want.spmmt, got.spmmt))
+        << "SpMMTransposed @ " << threads;
+  }
+}
+
+TEST(MemoryMeterTest, ConcurrentAccountingStaysExact) {
+  kgnet::testing::ThreadCountGuard thread_guard;
+  common::ThreadPool::SetNumThreads(4);
+  auto& meter = MemoryMeter::Instance();
+  const size_t before = meter.Current();
+  // Allocate/release in matched pairs from many chunks at once: the
+  // atomic counters must come back to the starting level exactly.
+  common::ParallelFor(0, 512, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      Matrix m(8, 8);
+      meter.AllocateIndex(static_cast<int>(i % 6), 128);
+      meter.ReleaseIndex(static_cast<int>(i % 6), 128);
+    }
+  });
+  EXPECT_EQ(meter.Current(), before);
 }
 
 TEST(RngTest, DeterministicForSeed) {
