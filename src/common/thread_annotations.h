@@ -1,0 +1,140 @@
+// Clang Thread Safety Analysis annotations plus annotated locking
+// primitives (Mutex, MutexLock, CondVar).
+//
+// The repo's concurrency invariants (docs/ARCHITECTURE.md "Threading
+// model") are enforced dynamically by TSan and the 1/2/4-thread
+// determinism tests; this header is the compile-time half of the gate
+// (docs/STATIC_ANALYSIS.md). Under Clang, every mutex-protected member
+// declares its lock with KGNET_GUARDED_BY and every lock-requiring
+// helper declares it with KGNET_REQUIRES, so `-Wthread-safety -Werror`
+// (on by default for Clang builds, see kgnet::build_flags) rejects any
+// access that forgets the lock. Under GCC the macros expand to nothing
+// and the primitives behave exactly like std::mutex / std::lock_guard /
+// std::condition_variable.
+//
+// Why wrapper types instead of std::mutex directly: the analysis only
+// tracks locks whose *type* carries the capability attribute, and
+// libstdc++'s std::mutex does not. kgnet::common::Mutex is a zero-cost
+// annotated shell over std::mutex; CondVar pairs with it for
+// condition-variable waits without losing the capability tracking
+// (std::condition_variable insists on std::unique_lock<std::mutex>,
+// which the analysis cannot see through).
+#ifndef KGNET_COMMON_THREAD_ANNOTATIONS_H_
+#define KGNET_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define KGNET_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define KGNET_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define KGNET_CAPABILITY(x) KGNET_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define KGNET_SCOPED_CAPABILITY KGNET_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Declares that a member is protected by the given mutex: reads and
+/// writes are rejected unless the analysis can prove the lock is held.
+#define KGNET_GUARDED_BY(x) KGNET_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Like KGNET_GUARDED_BY for the data a pointer member points to.
+#define KGNET_PT_GUARDED_BY(x) KGNET_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares that a function acquires the capability and does not release
+/// it before returning.
+#define KGNET_ACQUIRE(...) \
+  KGNET_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases a held capability.
+#define KGNET_RELEASE(...) \
+  KGNET_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability only when it returns
+/// the given value.
+#define KGNET_TRY_ACQUIRE(...) \
+  KGNET_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must hold the capability when calling.
+#define KGNET_REQUIRES(...) \
+  KGNET_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the capability (deadlock
+/// guard for functions that acquire it themselves).
+#define KGNET_EXCLUDES(...) KGNET_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Opts a function out of the analysis. Every use must carry a comment
+/// explaining which protocol protects the data instead (kgnet_lint has
+/// no rule for this yet, but reviewers treat a bare opt-out as a bug).
+#define KGNET_NO_THREAD_SAFETY_ANALYSIS \
+  KGNET_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace kgnet::common {
+
+/// An annotated std::mutex. Same cost, same semantics; the capability
+/// attribute is what lets -Wthread-safety track it.
+class KGNET_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() KGNET_ACQUIRE() { mu_.lock(); }
+  void Unlock() KGNET_RELEASE() { mu_.unlock(); }
+  bool TryLock() KGNET_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated so the analysis treats the guarded
+/// scope as holding the capability (the std::lock_guard of this world).
+class KGNET_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) KGNET_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() KGNET_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A condition variable bound to Mutex. Wait() atomically releases the
+/// (held) mutex while blocking and reacquires it before returning, and
+/// is annotated KGNET_REQUIRES so callers are checked for holding it.
+/// Use the bare-Wait-in-a-while-loop form rather than a predicate
+/// lambda: the analysis does not propagate capabilities into lambda
+/// bodies, so predicates reading guarded members would false-positive.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. The caller must hold `mu`; it is released
+  /// for the duration of the block and held again on return.
+  void Wait(Mutex& mu) KGNET_REQUIRES(mu) {
+    // Adopt the already-held mutex so std::condition_variable can do its
+    // atomic unlock-wait-relock, then release() the unique_lock so
+    // ownership stays with the caller (no double unlock).
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace kgnet::common
+
+#endif  // KGNET_COMMON_THREAD_ANNOTATIONS_H_

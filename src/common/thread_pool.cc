@@ -11,9 +11,17 @@ namespace {
 /// its whole life, on a caller thread for the duration of its own
 /// ParallelFor. A nested ParallelFor runs inline instead of deadlocking
 /// on the pool (or the non-recursive job mutex) it is already inside.
+/// kgnet-lint: thread_local-ok — per-thread re-entrancy flag by design;
+/// it must NOT be shared (a process-wide flag would serialize unrelated
+/// callers and a false value on a worker would self-deadlock; see the
+/// nested-inlining test in tests/test_thread_pool.cc).
 thread_local bool t_in_parallel = false;
 
 int DefaultThreads() {
+  // Resolved once (first num_threads() call) and cached; workers are not
+  // running yet, so the unsynchronized environment read cannot race with
+  // anything in this process.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("KGNET_NUM_THREADS")) {
     const int n = std::atoi(env);
     if (n > 0) return n;
@@ -46,12 +54,17 @@ void ThreadPool::SetNumThreads(int n) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Move the handles out under the lock; joining must happen unlocked
+  // (a worker's final loop iteration still takes mu_) and the threads
+  // never touch the vector itself.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  wake_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  wake_cv_.NotifyAll();
+  for (std::thread& t : workers) t.join();
 }
 
 void ThreadPool::EnsureWorkersLocked(size_t target) {
@@ -60,10 +73,12 @@ void ThreadPool::EnsureWorkersLocked(size_t target) {
 }
 
 void ThreadPool::RunChunks() {
-  // The job fields are stable for the whole job: workers read them after
-  // acquiring mu_ in WorkerLoop (which orders them after the caller's
-  // writes), and the caller does not return from ParallelFor — let alone
-  // publish a new job — before every claimed chunk finished.
+  // Lock-free by design (declared KGNET_NO_THREAD_SAFETY_ANALYSIS): the
+  // job descriptor fields are stable for the whole job. Workers read
+  // them after observing the epoch_ bump under mu_ in WorkerLoop (which
+  // orders them after the caller's writes), and the caller does not
+  // return from ParallelFor — let alone publish a new job — before
+  // every claimed chunk finished.
   for (;;) {
     const size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (c >= job_chunks_) return;
@@ -72,7 +87,7 @@ void ThreadPool::RunChunks() {
     try {
       (*job_fn_)(b, e);
     } catch (...) {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (!error_) error_ = std::current_exception();
     }
   }
@@ -81,10 +96,10 @@ void ThreadPool::RunChunks() {
 void ThreadPool::WorkerLoop() {
   t_in_parallel = true;
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   for (;;) {
-    wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
+    while (!stop_ && epoch_ == seen_epoch) wake_cv_.Wait(mu_);
+    if (stop_) break;
     seen_epoch = epoch_;
     // Admit at most max_participants_ workers per job (SetNumThreads
     // governs concurrency even when earlier jobs spawned more workers),
@@ -93,12 +108,13 @@ void ThreadPool::WorkerLoop() {
     if (!job_open_ || participants_ >= max_participants_) continue;
     ++participants_;
     ++busy_;
-    lk.unlock();
+    mu_.Unlock();
     RunChunks();
-    lk.lock();
+    mu_.Lock();
     --busy_;
-    if (busy_ == 0) done_cv_.notify_all();
+    if (busy_ == 0) done_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
@@ -125,11 +141,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
-  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  MutexLock job_lock(&job_mutex_);
   const size_t helpers =
       std::min<size_t>(static_cast<size_t>(threads), chunks) - 1;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     EnsureWorkersLocked(helpers);
     job_begin_ = begin;
     job_end_ = end;
@@ -143,14 +159,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     job_open_ = true;
     ++epoch_;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   t_in_parallel = true;  // chunks re-entering the pool must run inline
   RunChunks();           // the calling thread participates
   t_in_parallel = false;
   std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] { return busy_ == 0; });
+    MutexLock lk(&mu_);
+    while (busy_ != 0) done_cv_.Wait(mu_);
     // Same lock hold as the final busy_ == 0 observation: no worker can
     // be admitted between the check and the close.
     job_open_ = false;

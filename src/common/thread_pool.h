@@ -19,14 +19,14 @@
 #define KGNET_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace kgnet::common {
 
@@ -72,30 +72,45 @@ class ThreadPool {
 
   void WorkerLoop();
   /// Claims and runs chunks of the current job until none remain.
-  void RunChunks();
-  /// Spawns workers until `target` exist. Requires mu_ held.
-  void EnsureWorkersLocked(size_t target);
+  /// Analysis opt-out: reads the job_* descriptor fields lock-free —
+  /// see the protocol comment on the definition.
+  void RunChunks() KGNET_NO_THREAD_SAFETY_ANALYSIS;
+  /// Spawns workers until `target` exist.
+  void EnsureWorkersLocked(size_t target) KGNET_REQUIRES(mu_);
 
-  std::mutex job_mutex_;  // serializes ParallelFor calls across threads
+  Mutex job_mutex_;  // serializes ParallelFor calls across threads
 
-  std::mutex mu_;  // guards everything below
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
-  uint64_t epoch_ = 0;   // bumped once per job; workers wake on change
-  bool job_open_ = false;  // false once the job's ParallelFor returned
-  int busy_ = 0;         // workers currently running chunks
-  int participants_ = 0; // workers admitted to the current job
-  int max_participants_ = 0;
-  // Current job; the fields stay valid while its ParallelFor blocks.
-  size_t job_begin_ = 0;
-  size_t job_end_ = 0;
-  size_t job_grain_ = 1;
-  size_t job_chunks_ = 0;
-  const std::function<void(size_t, size_t)>* job_fn_ = nullptr;
+  Mutex mu_;  // guards everything below
+  CondVar wake_cv_;
+  CondVar done_cv_;
+  std::vector<std::thread> workers_ KGNET_GUARDED_BY(mu_);
+  bool stop_ KGNET_GUARDED_BY(mu_) = false;
+  /// Bumped once per job; workers wake on change.
+  uint64_t epoch_ KGNET_GUARDED_BY(mu_) = 0;
+  /// False once the job's ParallelFor returned.
+  bool job_open_ KGNET_GUARDED_BY(mu_) = false;
+  int busy_ KGNET_GUARDED_BY(mu_) = 0;          // workers running chunks
+  int participants_ KGNET_GUARDED_BY(mu_) = 0;  // admitted to current job
+  int max_participants_ KGNET_GUARDED_BY(mu_) = 0;
+  // Current job descriptor. Written under mu_ by ParallelFor before the
+  // epoch_ bump publishes the job; workers read it lock-free in
+  // RunChunks, made safe by the job protocol (a worker only reaches
+  // RunChunks after observing the new epoch_ under mu_, which orders
+  // the descriptor writes before its reads, and ParallelFor does not
+  // return — let alone rewrite the descriptor — until busy_ drops to 0
+  // and job_open_ closes under the same lock). The GUARDED_BY mirrors
+  // the writer side; the one lock-free reader is RunChunks, which is
+  // KGNET_NO_THREAD_SAFETY_ANALYSIS with this comment as its warrant.
+  size_t job_begin_ KGNET_GUARDED_BY(mu_) = 0;
+  size_t job_end_ KGNET_GUARDED_BY(mu_) = 0;
+  size_t job_grain_ KGNET_GUARDED_BY(mu_) = 1;
+  size_t job_chunks_ KGNET_GUARDED_BY(mu_) = 0;
+  const std::function<void(size_t, size_t)>* job_fn_ KGNET_GUARDED_BY(mu_) =
+      nullptr;
+  /// Chunk-claim ticket counter: genuinely lock-free (atomic), shared by
+  /// every participant of the current job.
   std::atomic<size_t> next_chunk_{0};
-  std::exception_ptr error_;
+  std::exception_ptr error_ KGNET_GUARDED_BY(mu_);
 };
 
 /// Convenience wrapper: ThreadPool::Instance().ParallelFor(...).

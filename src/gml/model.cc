@@ -1,5 +1,7 @@
 #include "gml/model.h"
 
+#include <memory>
+
 #include "gml/gcn.h"
 #include "gml/kge.h"
 #include "gml/morse.h"
@@ -50,15 +52,17 @@ const char* TaskTypeName(TaskType t) {
 Result<std::unique_ptr<NodeClassifier>> MakeNodeClassifier(GmlMethod method) {
   switch (method) {
     case GmlMethod::kGcn:
-      return std::unique_ptr<NodeClassifier>(new GcnClassifier());
+      return std::unique_ptr<NodeClassifier>(std::make_unique<GcnClassifier>());
     case GmlMethod::kRgcn:
-      return std::unique_ptr<NodeClassifier>(new RgcnClassifier());
+      return std::unique_ptr<NodeClassifier>(std::make_unique<RgcnClassifier>());
     case GmlMethod::kGraphSaint:
-      return std::unique_ptr<NodeClassifier>(new GraphSaintClassifier());
+      return std::unique_ptr<NodeClassifier>(
+          std::make_unique<GraphSaintClassifier>());
     case GmlMethod::kShadowSaint:
-      return std::unique_ptr<NodeClassifier>(new ShadowSaintClassifier());
+      return std::unique_ptr<NodeClassifier>(
+          std::make_unique<ShadowSaintClassifier>());
     case GmlMethod::kGraphSage:
-      return std::unique_ptr<NodeClassifier>(new SageClassifier());
+      return std::unique_ptr<NodeClassifier>(std::make_unique<SageClassifier>());
     default:
       return Status::InvalidArgument(
           std::string(GmlMethodName(method)) +
@@ -69,16 +73,19 @@ Result<std::unique_ptr<NodeClassifier>> MakeNodeClassifier(GmlMethod method) {
 Result<std::unique_ptr<LinkPredictor>> MakeLinkPredictor(GmlMethod method) {
   switch (method) {
     case GmlMethod::kTransE:
-      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kTransE));
+      return std::unique_ptr<LinkPredictor>(
+          std::make_unique<KgeModel>(KgeScore::kTransE));
     case GmlMethod::kDistMult:
       return std::unique_ptr<LinkPredictor>(
-          new KgeModel(KgeScore::kDistMult));
+          std::make_unique<KgeModel>(KgeScore::kDistMult));
     case GmlMethod::kComplEx:
-      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kComplEx));
+      return std::unique_ptr<LinkPredictor>(
+          std::make_unique<KgeModel>(KgeScore::kComplEx));
     case GmlMethod::kRotatE:
-      return std::unique_ptr<LinkPredictor>(new KgeModel(KgeScore::kRotatE));
+      return std::unique_ptr<LinkPredictor>(
+          std::make_unique<KgeModel>(KgeScore::kRotatE));
     case GmlMethod::kMorse:
-      return std::unique_ptr<LinkPredictor>(new MorseModel());
+      return std::unique_ptr<LinkPredictor>(std::make_unique<MorseModel>());
     default:
       return Status::InvalidArgument(std::string(GmlMethodName(method)) +
                                      " is not a link-prediction method");

@@ -64,9 +64,16 @@ TripleStore::~TripleStore() {
 TripleStore::TripleStore(TripleStore&& other) noexcept
     : options_(other.options_),
       dict_(std::move(other.dict_)),
-      pending_(std::move(other.pending_)),
-      pending_erase_(std::move(other.pending_erase_)),
       membership_(std::move(other.membership_)) {
+  {
+    // Moving requires exclusive access to both stores (no concurrent
+    // reader can hold a cursor into either), but the guarded members
+    // still move under their locks so the annotation invariant holds.
+    common::MutexLock self(&pending_mu_);
+    common::MutexLock theirs(&other.pending_mu_);
+    pending_ = std::move(other.pending_);
+    pending_erase_ = std::move(other.pending_erase_);
+  }
   for (size_t i = 0; i < indexes_.size(); ++i) {
     indexes_[i].order = other.indexes_[i].order;
     indexes_[i].present = other.indexes_[i].present;
@@ -86,8 +93,12 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
       meter.ReleaseIndex(static_cast<int>(idx.order), idx.run.ByteSize());
   options_ = other.options_;
   dict_ = std::move(other.dict_);
-  pending_ = std::move(other.pending_);
-  pending_erase_ = std::move(other.pending_erase_);
+  {
+    common::MutexLock self(&pending_mu_);
+    common::MutexLock theirs(&other.pending_mu_);
+    pending_ = std::move(other.pending_);
+    pending_erase_ = std::move(other.pending_erase_);
+  }
   membership_ = std::move(other.membership_);
   for (size_t i = 0; i < indexes_.size(); ++i) {
     indexes_[i].order = other.indexes_[i].order;
@@ -118,6 +129,7 @@ Triple TripleStore::Unpermute(IndexOrder order, const IndexKey& k) {
 
 bool TripleStore::Insert(const Triple& t) {
   if (!membership_.insert(t).second) return false;
+  common::MutexLock lk(&pending_mu_);
   pending_.push_back(t);
   return true;
 }
@@ -142,7 +154,19 @@ void TripleStore::RebuildRun(const Index& idx,
 }
 
 void TripleStore::FlushInserts() const {
+  // pending_mu_ is held for the whole rebuild: when several readers race
+  // to trigger the lazy flush, the first does the work and the rest
+  // block here, then observe empty buffers and return. (Before the lock
+  // existed, two concurrent readers could both enter the rebuild and
+  // race on the runs — caught by the annotation pass for this gate.)
+  common::MutexLock lk(&pending_mu_);
   if (pending_.empty() && pending_erase_.empty()) return;
+  // Local aliases for the ParallelFor body: the thread-safety analysis
+  // does not propagate held locks into lambdas, so the lambda reads
+  // through these references bound while pending_mu_ is held.
+  const std::vector<Triple>& pending = pending_;
+  const std::unordered_set<Triple, TripleHash>& pending_erase =
+      pending_erase_;
   // The per-order rebuilds are independent — each task reads the shared
   // pending buffers (const) and writes only its own index's run and
   // MemoryMeter pool slot — so the six sorts + run encodes fan out on
@@ -158,17 +182,17 @@ void TripleStore::FlushInserts() const {
       // rebuild per flush, the same asymptotics as the old in-place
       // merge of flat sorted rows.
       std::vector<IndexKey> keys;
-      keys.reserve(idx.run.size() + pending_.size());
+      keys.reserve(idx.run.size() + pending.size());
       RunCursor c = idx.run.Cursor(0, idx.run.size());
       IndexKey k;
       while (c.Next(&k)) {
-        if (!pending_erase_.empty() &&
-            pending_erase_.count(Unpermute(idx.order, k)) > 0)
+        if (!pending_erase.empty() &&
+            pending_erase.count(Unpermute(idx.order, k)) > 0)
           continue;
         keys.push_back(k);
       }
       const auto old_end = static_cast<std::ptrdiff_t>(keys.size());
-      for (const Triple& t : pending_) keys.push_back(Permute(idx.order, t));
+      for (const Triple& t : pending) keys.push_back(Permute(idx.order, t));
       std::sort(keys.begin() + old_end, keys.end());
       std::inplace_merge(keys.begin(), keys.begin() + old_end, keys.end());
       RebuildRun(idx, keys);
@@ -180,6 +204,7 @@ void TripleStore::FlushInserts() const {
 
 bool TripleStore::Erase(const Triple& t) {
   if (membership_.erase(t) == 0) return false;
+  common::MutexLock lk(&pending_mu_);
   // A still-pending insert of t never reached the runs: drop it directly.
   auto it = std::find(pending_.begin(), pending_.end(), t);
   if (it != pending_.end()) {

@@ -7,6 +7,14 @@
 // shared by every thread — kernels run tiles on the common ThreadPool
 // and the triple store rebuilds its permutation runs in parallel — so
 // all counters are atomics and the peak updates via a CAS-max loop.
+//
+// Static-analysis note (docs/STATIC_ANALYSIS.md): this class is
+// deliberately mutex-free, so it carries no KGNET_GUARDED_BY
+// annotations — every member is a std::atomic and every compound update
+// (peak CAS-max, clamped release) is a single CAS retry loop. Reset()
+// is the one non-atomic compound (load of current_, store to peak_); it
+// is only meaningful between parallel regions and is documented as such
+// rather than locked.
 #ifndef KGNET_TENSOR_MEMORY_METER_H_
 #define KGNET_TENSOR_MEMORY_METER_H_
 

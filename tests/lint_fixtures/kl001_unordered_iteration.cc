@@ -1,0 +1,20 @@
+// Fixture: violates KL001 (unordered-iteration). Linted as if it lived
+// in src/sparql/, where hash-order iteration is banned.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> RenderBindings() {
+  std::unordered_map<std::string, int> bindings;
+  bindings["?x"] = 1;
+  std::vector<std::string> out;
+  // Violation: hash iteration order leaks straight into the output rows.
+  for (const auto& [name, slot] : bindings) {
+    out.push_back(name + std::to_string(slot));
+  }
+  // Violation: explicit iterator walk over the same table.
+  for (auto it = bindings.begin(); it != bindings.end(); ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}

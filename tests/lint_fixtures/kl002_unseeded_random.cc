@@ -1,0 +1,9 @@
+// Fixture: violates KL002 (unseeded-random) three ways.
+#include <cstdlib>
+#include <random>
+
+int SampleNode(int n) {
+  std::random_device rd;  // violation: nondeterministic seed source
+  std::srand(rd());       // violation: srand
+  return std::rand() % n; // violation: rand
+}

@@ -1,0 +1,7 @@
+// Fixture: violates KL003 (layering). Linted as if it lived in
+// src/tensor/, which may include only tensor/ and common/ headers.
+#include "common/status.h"       // fine: tensor -> common is in the graph
+#include "rdf/triple_store.h"    // violation: tensor must not reach up into rdf
+#include "sparql/engine.h"       // violation: nor into sparql
+
+int Dummy() { return 0; }

@@ -1,0 +1,18 @@
+// Fixture: violates KL004 (naked-new-delete). Linted as if it lived in
+// src/core/. The `= delete` declaration below must NOT fire.
+struct Buffer {
+  Buffer() = default;
+  Buffer(const Buffer&) = delete;  // fine: deleted function, not a delete-expr
+  int* data = nullptr;
+};
+
+Buffer* MakeBuffer() {
+  Buffer* b = new Buffer;   // violation: naked new
+  b->data = new int[16];    // violation: naked array new
+  return b;
+}
+
+void FreeBuffer(Buffer* b) {
+  delete[] b->data;  // violation: naked delete
+  delete b;          // violation: naked delete
+}

@@ -1,0 +1,8 @@
+// Fixture: violates KL005 (thread-local-justification): a thread_local
+// missing its justification marker. This is the PR 5 MemoryMeter bug
+// class — per-thread counters that scatter accounting across pool
+// workers. (The marker string itself must not appear anywhere near the
+// declaration, or the rule would be satisfied by accident.)
+thread_local int t_bytes_allocated = 0;
+
+void Track(int bytes) { t_bytes_allocated += bytes; }

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/kgnet_lint.py (ctest: lint_tool_fixtures).
+
+Each violating fixture under tests/lint_fixtures/ must make *exactly*
+its rule fire (right rule ID, right count, nonzero exit); the clean
+fixture — which mentions every banned construct inside comments and
+strings — must pass. This pins both the rules and the comment/string
+stripper, so the linter itself cannot rot silently.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "tools", "kgnet_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def run_lint(fixture, virtual_path):
+    proc = subprocess.run(
+        [sys.executable, LINT, "--as", virtual_path,
+         os.path.join(FIXTURES, fixture)],
+        capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def rule_hits(output, rule):
+    return len(re.findall(rf"\b{rule}\b \(", output))
+
+
+class ViolatingFixtures(unittest.TestCase):
+    """One test per rule: the fixture fires its rule and only its rule."""
+
+    def check(self, fixture, virtual_path, rule, expected_hits):
+        code, out = run_lint(fixture, virtual_path)
+        self.assertNotEqual(code, 0, f"{fixture} should fail the gate:\n{out}")
+        self.assertEqual(rule_hits(out, rule), expected_hits, out)
+        for other in ("KL001", "KL002", "KL003", "KL004", "KL005"):
+            if other != rule:
+                self.assertEqual(
+                    rule_hits(out, other), 0,
+                    f"{fixture} unexpectedly fired {other}:\n{out}")
+
+    def test_kl001_unordered_iteration(self):
+        # One range-for plus one .begin() walk.
+        self.check("kl001_unordered_iteration.cc",
+                   "src/sparql/fixture.cc", "KL001", 2)
+
+    def test_kl001_is_scoped_to_sparql_and_rdf(self):
+        # The same file is legal outside the query/storage hot paths.
+        code, out = run_lint("kl001_unordered_iteration.cc",
+                             "src/gml/fixture.cc")
+        self.assertEqual(code, 0, out)
+
+    def test_kl002_unseeded_random(self):
+        # random_device + srand + rand.
+        self.check("kl002_unseeded_random.cc",
+                   "src/gml/fixture.cc", "KL002", 3)
+
+    def test_kl003_layering(self):
+        # tensor -> rdf and tensor -> sparql; the common include is legal.
+        self.check("kl003_layering.cc",
+                   "src/tensor/fixture.cc", "KL003", 2)
+
+    def test_kl004_naked_new(self):
+        # Two news + two deletes; `= delete` must not count.
+        self.check("kl004_naked_new.cc",
+                   "src/core/fixture.cc", "KL004", 4)
+
+    def test_kl005_thread_local(self):
+        self.check("kl005_thread_local.cc",
+                   "src/tensor/fixture.cc", "KL005", 1)
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_passes_every_rule(self):
+        code, out = run_lint("clean.cc", "src/sparql/fixture.cc")
+        self.assertEqual(code, 0,
+                         f"clean fixture must pass the full gate:\n{out}")
+
+
+class WholeTree(unittest.TestCase):
+    def test_repo_is_lint_clean(self):
+        proc = subprocess.run([sys.executable, LINT],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0,
+                         proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

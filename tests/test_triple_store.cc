@@ -6,6 +6,7 @@
 #include <array>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rdf/term.h"
@@ -480,6 +481,52 @@ TEST_P(TripleStorePropertyTest, MatchAgreesWithNaiveOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(TripleStoreConcurrencyTest, ConcurrentReadersRaceToTriggerOneFlush) {
+  // Regression for the static-analysis gate's annotation pass: the
+  // pending-mutation buffers are guarded by pending_mu_
+  // (KGNET_GUARDED_BY in triple_store.h), so when several readers hit a
+  // dirty store at once, exactly one rebuilds the runs and the rest
+  // block, then see empty buffers. Before the lock, every reader ran
+  // the rebuild concurrently — a data race on the runs and the
+  // MemoryMeter index pool (this test under the tsan preset pins it).
+  TripleStore store;
+  tensor::Rng rng(77);
+  size_t p0_expected = 0;
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t p = rng.NextUint(4);
+    if (store.InsertIris("s" + std::to_string(rng.NextUint(40)),
+                         "p" + std::to_string(p),
+                         "o" + std::to_string(rng.NextUint(50))) &&
+        p == 0)
+      ++p0_expected;
+  }
+  const TermId p0 = store.dict().FindIri("p0");
+  const size_t total = store.size();
+  ASSERT_NE(p0, kNullTermId);
+
+  // All readers start on a dirty store (inserts still buffered) and race
+  // into the lazy flush inside Count/EstimateCardinality.
+  constexpr int kReaders = 8;
+  std::vector<size_t> counts(kReaders, 0), estimates(kReaders, 0);
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&, r] {
+        TriplePattern by_pred;
+        by_pred.p = p0;
+        counts[r] = store.Count(by_pred);
+        estimates[r] = store.EstimateCardinality(TriplePattern());
+      });
+    }
+    for (std::thread& t : readers) t.join();
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(counts[r], p0_expected) << "reader " << r;
+    EXPECT_EQ(estimates[r], total) << "reader " << r;
+  }
+}
 
 }  // namespace
 }  // namespace kgnet::rdf

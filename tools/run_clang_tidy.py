@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Run the curated clang-tidy gate over the repo's compile database.
+
+Part of the three-layer static-analysis gate (docs/STATIC_ANALYSIS.md):
+reads compile_commands.json from a build tree (the `tidy` CMake preset
+exports one), filters it to first-party translation units (src/ bench/
+tests/ examples/), and runs clang-tidy with the repo's .clang-tidy over
+each. Exit codes:
+
+  0  no findings (or clang-tidy unavailable: prints SKIPPED and passes,
+     so developer machines without LLVM keep a green ctest while the
+     static-analysis CI job, which installs clang-tidy, stays binding)
+  1  clang-tidy produced findings, or the compile database is missing
+
+Usage:
+  python3 tools/run_clang_tidy.py -p build-tidy [-j N] [--strict]
+
+--strict turns the missing-clang-tidy skip into a failure (CI uses it so
+a broken install can never masquerade as a pass).
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose translation units the gate owns. Generated or fetched
+# sources (e.g. a FetchContent googletest) live under the build tree and
+# are excluded by construction.
+FIRST_PARTY_DIRS = ("src", "bench", "tests", "examples")
+
+
+def find_clang_tidy():
+    """Returns a clang-tidy executable name, or None."""
+    candidates = ["clang-tidy"]
+    # Debian/Ubuntu ship versioned binaries without the plain name.
+    candidates += [f"clang-tidy-{v}" for v in range(21, 13, -1)]
+    for c in candidates:
+        if shutil.which(c):
+            return c
+    return None
+
+
+def first_party_units(compdb_path):
+    with open(compdb_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    units = []
+    seen = set()
+    prefixes = tuple(
+        os.path.join(REPO_ROOT, d) + os.sep for d in FIRST_PARTY_DIRS
+    )
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry["directory"], entry["file"])
+        )
+        if path.startswith(prefixes) and path not in seen:
+            # Lint fixtures violate rules on purpose; they are inputs to
+            # the linter's own tests, not part of the checked tree.
+            if os.sep + os.path.join("tests", "lint_fixtures") + os.sep in path:
+                continue
+            seen.add(path)
+            units.append(path)
+    return sorted(units)
+
+
+def run_one(args):
+    tidy, build_dir, path = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True,
+        text=True,
+    )
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "-p",
+        dest="build_dir",
+        default=os.path.join(REPO_ROOT, "build-tidy"),
+        help="build tree containing compile_commands.json",
+    )
+    ap.add_argument("-j", dest="jobs", type=int, default=0)
+    ap.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (instead of skip) when clang-tidy is not installed",
+    )
+    opts = ap.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        msg = "clang-tidy not found on PATH"
+        if opts.strict:
+            print(f"FAILED: {msg} (--strict)", file=sys.stderr)
+            return 1
+        print(f"SKIPPED: {msg}; the static-analysis CI job runs this gate")
+        return 0
+
+    compdb = os.path.join(opts.build_dir, "compile_commands.json")
+    if not os.path.isfile(compdb):
+        print(
+            f"FAILED: no compile database at {compdb}\n"
+            "  configure one with: cmake --preset tidy",
+            file=sys.stderr,
+        )
+        return 1
+
+    units = first_party_units(compdb)
+    if not units:
+        print("FAILED: compile database lists no first-party sources",
+              file=sys.stderr)
+        return 1
+
+    jobs = opts.jobs or max(1, multiprocessing.cpu_count() - 1)
+    print(f"{tidy}: {len(units)} translation units, {jobs} jobs")
+    failures = 0
+    with multiprocessing.Pool(jobs) as pool:
+        for path, code, out, err in pool.imap_unordered(
+            run_one, [(tidy, opts.build_dir, u) for u in units]
+        ):
+            rel = os.path.relpath(path, REPO_ROOT)
+            if code != 0:
+                failures += 1
+                print(f"-- FINDINGS in {rel}")
+                if out.strip():
+                    print(out.strip())
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+    if failures:
+        print(f"FAILED: clang-tidy findings in {failures} translation "
+              f"unit(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(units)} translation units clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
