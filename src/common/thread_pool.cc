@@ -1,7 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace kgnet::common {
 
@@ -17,17 +19,28 @@ namespace {
 /// nested-inlining test in tests/test_thread_pool.cc).
 thread_local bool t_in_parallel = false;
 
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 int DefaultThreads() {
   // Resolved once (first num_threads() call) and cached; workers are not
   // running yet, so the unsynchronized environment read cannot race with
   // anything in this process.
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("KGNET_NUM_THREADS")) {
-    const int n = std::atoi(env);
+    const int n = ThreadPool::ParseThreadCountEnv(env);
     if (n > 0) return n;
+    // One-time warning (this resolution is cached): a malformed value
+    // silently running single- or garbage-threaded is a misconfiguration
+    // the operator should hear about.
+    std::fprintf(stderr,
+                 "kgnet: ignoring invalid KGNET_NUM_THREADS=\"%s\" "
+                 "(want a positive integer); using %d hardware threads\n",
+                 env, HardwareThreads());
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return HardwareThreads();
 }
 
 /// 0 = not yet resolved from the environment.
@@ -51,6 +64,22 @@ int ThreadPool::num_threads() {
 
 void ThreadPool::SetNumThreads(int n) {
   g_num_threads.store(std::max(1, n), std::memory_order_relaxed);
+}
+
+int ThreadPool::ParseThreadCountEnv(const char* text) {
+  if (text == nullptr) return 0;
+  const char* p = text;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p < '0' || *p > '9') return 0;  // also rejects "+4", "-2"
+  long long n = 0;
+  while (*p >= '0' && *p <= '9') {
+    n = n * 10 + (*p - '0');
+    if (n > std::numeric_limits<int>::max()) return 0;
+    ++p;
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0') return 0;  // trailing junk ("8abc", "4.5")
+  return n > 0 ? static_cast<int>(n) : 0;
 }
 
 ThreadPool::~ThreadPool() {

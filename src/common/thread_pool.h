@@ -54,6 +54,14 @@ class ThreadPool {
   /// sweep thread counts inside one process.
   static void SetNumThreads(int n);
 
+  /// Strictly parses a KGNET_NUM_THREADS value: optional surrounding
+  /// whitespace around a positive decimal integer that fits in int.
+  /// Returns 0 for anything else (empty, garbage, trailing junk, zero,
+  /// negative, overflow) — the caller falls back to
+  /// hardware_concurrency. Exposed so the validation is unit-testable;
+  /// the environment itself is read once and cached.
+  static int ParseThreadCountEnv(const char* text);
+
   /// Invokes fn(chunk_begin, chunk_end) for every grain-sized chunk of
   /// [begin, end), across the pool. Blocks until every chunk ran. The
   /// calling thread participates, so the work uses at most num_threads()

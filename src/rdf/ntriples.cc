@@ -13,6 +13,57 @@ namespace kgnet::rdf {
 
 namespace {
 
+/// Hex digit value, or -1 for a non-hex character.
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Appends the UTF-8 encoding of `cp` to `out`. False for code points
+/// outside Unicode (> U+10FFFF) or in the surrogate range, which UCHAR
+/// escapes must not denote.
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+/// Decodes a UCHAR escape (\uXXXX or \UXXXXXXXX) whose digits start at
+/// s[*i]; appends the code point as UTF-8 and advances *i past the
+/// digits.
+Status DecodeUchar(std::string_view s, size_t* i, int ndigits,
+                   std::string* out) {
+  if (*i + static_cast<size_t>(ndigits) > s.size())
+    return Status::ParseError("truncated \\u escape in literal");
+  uint32_t cp = 0;
+  for (int k = 0; k < ndigits; ++k) {
+    const int v = HexValue(s[*i + static_cast<size_t>(k)]);
+    if (v < 0)
+      return Status::ParseError("non-hex digit in \\u escape");
+    cp = (cp << 4) | static_cast<uint32_t>(v);
+  }
+  if (!AppendUtf8(cp, out))
+    return Status::ParseError("\\u escape denotes an invalid code point");
+  *i += static_cast<size_t>(ndigits);
+  return Status::OK();
+}
+
 // Consumes one term starting at s[pos]; advances pos past the term.
 Result<Term> ParseTermAt(std::string_view s, size_t* pos) {
   while (*pos < s.size() && std::isspace(static_cast<unsigned char>(s[*pos])))
@@ -62,9 +113,27 @@ Result<Term> ParseTermAt(std::string_view s, size_t* pos) {
           case '"':
             value += '"';
             break;
+          case '\'':
+            value += '\'';
+            break;
+          case 'b':
+            value += '\b';
+            break;
+          case 'f':
+            value += '\f';
+            break;
           case '\\':
             value += '\\';
             break;
+          case 'u':
+          case 'U': {
+            // UCHAR: \uXXXX / \UXXXXXXXX, decoded to UTF-8.
+            size_t digits = i + 2;
+            KGNET_RETURN_IF_ERROR(
+                DecodeUchar(s, &digits, e == 'u' ? 4 : 8, &value));
+            i = digits;
+            continue;
+          }
           default:
             return Status::ParseError("unsupported escape in literal");
         }

@@ -25,6 +25,8 @@ bool Term::AsDouble(double* out) const {
 
 std::string Term::ToNTriples() const {
   switch (kind) {
+    case TermKind::kUndef:
+      return "";  // an unbound cell renders as nothing, like SPARQL UNDEF
     case TermKind::kIri:
       return "<" + lexical + ">";
     case TermKind::kBlank:
@@ -79,6 +81,11 @@ std::string Term::EncodeKey() const {
       break;
     case TermKind::kBlank:
       key += 'B';
+      break;
+    case TermKind::kUndef:
+      // Distinct from 'L' so DISTINCT cannot merge an unbound cell with
+      // a genuine empty-string literal.
+      key += 'U';
       break;
   }
   key += lexical;

@@ -20,6 +20,12 @@ enum class TermKind : uint8_t {
   kIri = 0,
   kLiteral = 1,
   kBlank = 2,
+  /// Not a term: an explicitly-unbound solution cell (SPARQL's UNDEF).
+  /// Projection produces it for variables a row leaves unbound, so an
+  /// unbound cell can never be confused with a genuine empty-string
+  /// literal — DISTINCT, serialization and downstream consumers all see
+  /// the difference. Undef terms are never stored in a TripleStore.
+  kUndef = 3,
 };
 
 /// An RDF term value.
@@ -59,10 +65,13 @@ struct Term {
   static Term Blank(std::string label) {
     return Term(TermKind::kBlank, std::move(label));
   }
+  /// Creates an unbound solution cell (see TermKind::kUndef).
+  static Term Undef() { return Term(TermKind::kUndef, std::string()); }
 
   bool is_iri() const { return kind == TermKind::kIri; }
   bool is_literal() const { return kind == TermKind::kLiteral; }
   bool is_blank() const { return kind == TermKind::kBlank; }
+  bool is_undef() const { return kind == TermKind::kUndef; }
 
   /// Attempts to read the literal as a double; returns false for non-numeric
   /// content or non-literals.

@@ -64,6 +64,20 @@ class TripleCursor {
   /// including rows the non-prefix positions will filter out).
   size_t remaining() const { return run_.remaining(); }
 
+  /// A fresh cursor over `count` index rows starting `offset` rows past
+  /// this cursor's position (clamped), with the same pattern filter and
+  /// un-permutation. This cursor is not advanced. Offsets count index
+  /// rows, not matches: concatenating Slice(0, k), Slice(k, k), ...
+  /// yields exactly this cursor's stream, which is what the executor's
+  /// morsel-parallel scan relies on.
+  TripleCursor Slice(size_t offset, size_t count) const {
+    TripleCursor c;
+    c.run_ = run_.Slice(offset, count);
+    c.positions_ = positions_;
+    c.pattern_ = pattern_;
+    return c;
+  }
+
  private:
   friend class TripleStore;
   RunCursor run_;

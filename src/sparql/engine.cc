@@ -254,7 +254,9 @@ std::vector<SelectItem> ProjectionItems(const Query& query,
   return items;
 }
 
-/// Evaluates one projected row; unbound variables become empty cells.
+/// Evaluates one projected row; unbound variables become explicit
+/// Term::Undef() cells — never an empty literal, which a row could
+/// genuinely bind (DISTINCT and serialization must tell them apart).
 Result<std::vector<Term>> ProjectRow(const std::vector<SelectItem>& items,
                                      EvalContext* ctx, const Solution& sol) {
   std::vector<Term> row;
@@ -263,8 +265,8 @@ Result<std::vector<Term>> ProjectRow(const std::vector<SelectItem>& items,
     auto v = EvalExpr(it.expr, ctx, sol);
     if (!v.ok()) {
       if (v.status().code() == StatusCode::kFailedPrecondition) {
-        // Unbound variable in projection: empty cell.
-        row.push_back(Term::Literal(""));
+        // Unbound variable in projection: explicit unbound cell.
+        row.push_back(Term::Undef());
         continue;
       }
       return v.status();
@@ -510,6 +512,9 @@ Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
         s.resize(ctx.vars.size(), kNullTermId);
         bool consistent = true;
         for (size_t i = 0; i < slots.size(); ++i) {
+          // A cell the sub-SELECT left unbound seeds nothing: the outer
+          // slot stays free instead of being interned as a bogus term.
+          if (row[i].is_undef()) continue;
           TermId id = store_->dict().Intern(row[i]);
           if (s[slots[i]] != kNullTermId && s[slots[i]] != id) {
             consistent = false;

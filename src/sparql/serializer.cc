@@ -5,6 +5,9 @@
 namespace kgnet::sparql {
 
 std::string SerializeTerm(const rdf::Term& term) {
+  // An unbound cell surfaces as SPARQL's UNDEF keyword; every real term
+  // kind keeps its N-Triples form.
+  if (term.is_undef()) return "UNDEF";
   return term.ToNTriples();
 }
 

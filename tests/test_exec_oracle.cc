@@ -13,12 +13,14 @@
 #include <algorithm>
 #include <charconv>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "sparql/engine.h"
+#include "sparql/exec.h"
 #include "tensor/rng.h"
 #include "tests/parallel_test_util.h"
 
@@ -26,6 +28,31 @@ namespace kgnet::sparql {
 namespace {
 
 using rdf::Term;
+
+/// Saves and restores the process-wide MorselConfig, and installs tiny
+/// thresholds (plus force_parallel) so the 15-60-triple oracle graphs
+/// actually drive the morsel-parallel scan, batched hash join and group
+/// merge code paths that production sizes would leave dormant.
+class TinyMorselGuard {
+ public:
+  TinyMorselGuard() : saved_(GetMorselConfig()) {
+    MorselConfig& cfg = GetMorselConfig();
+    cfg.scan_morsel_rows = 3;
+    cfg.scan_min_parallel_rows = 4;
+    cfg.scan_max_wave_morsels = 4;
+    cfg.join_min_parallel_batch = 2;
+    cfg.join_max_batch_rows = 8;
+    cfg.join_partitions = 4;
+    cfg.smj_min_parallel_group = 2;
+    cfg.force_parallel = true;
+  }
+  ~TinyMorselGuard() { GetMorselConfig() = saved_; }
+  TinyMorselGuard(const TinyMorselGuard&) = delete;
+  TinyMorselGuard& operator=(const TinyMorselGuard&) = delete;
+
+ private:
+  MorselConfig saved_;
+};
 
 // ------------------------------------------------------ reference model --
 
@@ -234,6 +261,7 @@ struct Case {
   std::vector<RFilter> filters;
   std::vector<std::vector<RPattern>> unions;  // chains of alternatives
   std::vector<RPattern> optionals;
+  bool distinct = false;
   int64_t limit = -1;
   int64_t offset = 0;
   std::string sparql;
@@ -246,6 +274,7 @@ struct GenOptions {
   bool unions = false;
   bool optionals = false;
   bool modifiers = false;  // LIMIT / OFFSET
+  bool distinct = false;   // SELECT DISTINCT
 };
 
 Case GenerateCase(tensor::Rng* rng, const GenOptions& opts) {
@@ -382,8 +411,10 @@ Case GenerateCase(tensor::Rng* rng, const GenOptions& opts) {
     if (rng->NextFloat() < 0.3f)
       c.offset = static_cast<int64_t>(rng->NextUint(4));
   }
+  if (opts.distinct) c.distinct = rng->NextFloat() < 0.8f;
 
-  std::string q = "SELECT * WHERE { ";
+  std::string q = c.distinct ? "SELECT DISTINCT * WHERE { "
+                             : "SELECT * WHERE { ";
   for (const RPattern& p : c.patterns)
     q += NodeSparql(p.s) + " " + NodeSparql(p.p) + " " + NodeSparql(p.o) +
          " . ";
@@ -416,7 +447,8 @@ std::vector<std::vector<std::string>> EngineRows(const QueryResult& r) {
   for (const auto& row : r.rows) {
     std::vector<std::string> cells;
     for (const Term& t : row)
-      cells.push_back((t.is_iri() ? "i:" : "l:") + t.lexical);
+      cells.push_back(t.is_undef() ? "u:"
+                                   : (t.is_iri() ? "i:" : "l:") + t.lexical);
     rows.push_back(std::move(cells));
   }
   std::sort(rows.begin(), rows.end());
@@ -432,7 +464,7 @@ std::vector<std::vector<std::string>> RefRows(
     for (const std::string& col : cols) {
       auto it = sol.find(col);
       if (it == sol.end()) {
-        cells.push_back("l:");  // unbound projects as an empty literal
+        cells.push_back("u:");  // unbound projects as an explicit UNDEF
       } else {
         cells.push_back((it->second.iri ? "i:" : "l:") + it->second.lex);
       }
@@ -489,11 +521,30 @@ void RunSeeds(uint64_t first_seed, int count, const GenOptions& opts) {
     ASSERT_TRUE(legacy.ok())
         << legacy.status() << "\nseed=" << seed << "\n" << c.sparql;
 
+    // Third pass: the same streaming plan driven through the
+    // morsel-parallel operators (tiny thresholds + force_parallel). The
+    // determinism contract says the parallel operators emit the exact
+    // serial row stream, so even LIMIT/OFFSET results — free to pick any
+    // rows — must be *identical* to the serial streaming run.
+    {
+      TinyMorselGuard morsels;
+      engine.set_exec_mode(ExecMode::kStreaming);
+      auto parallel = engine.ExecuteString(c.sparql);
+      ASSERT_TRUE(parallel.ok())
+          << parallel.status() << "\nseed=" << seed << "\n" << c.sparql;
+      ASSERT_EQ(parallel->rows, streamed->rows)
+          << "parallel operators diverged from serial\nseed=" << seed << "\n"
+          << c.sparql;
+    }
+
     std::vector<Binding> oracle =
         RefEval(c.patterns, c.filters, c.unions, c.optionals, c.facts);
     auto engine_rows = EngineRows(*streamed);
     auto legacy_rows = EngineRows(*legacy);
     auto oracle_rows = RefRows(oracle, streamed->columns);
+    if (c.distinct)
+      oracle_rows.erase(std::unique(oracle_rows.begin(), oracle_rows.end()),
+                        oracle_rows.end());
 
     const size_t total = oracle_rows.size();
     const size_t after_offset =
@@ -594,6 +645,47 @@ TEST(ExecOracleTest, LimitOffsetMatchBruteForce) {
   RunSeeds(4000, 40, opts);
 }
 
+// DISTINCT composed with OFFSET and LIMIT (dedup happens before the
+// modifiers), over union/optional shapes whose rows carry unbound slots
+// — the case where DISTINCT must not merge an unbound cell with a bound
+// one.
+TEST(ExecOracleTest, DistinctLimitOffsetMatchBruteForce) {
+  GenOptions opts;
+  opts.filters = true;
+  opts.unions = true;
+  opts.optionals = true;
+  opts.modifiers = true;
+  opts.distinct = true;
+  RunSeeds(7000, 40, opts);
+}
+
+// Regression: unbound projection cells used to materialize as empty
+// *literals*, so DISTINCT merged a row whose ?x is genuinely "" with a
+// row whose ?x is unbound. With the explicit UNDEF representation the
+// two rows stay distinct (and serialize distinguishably).
+TEST(ExecOracleTest, DistinctKeepsUnboundApartFromEmptyLiteral) {
+  rdf::TripleStore store;
+  store.Insert(Term::Iri("s"), Term::Iri("p"), Term::Literal(""));
+  store.InsertIris("s", "q", "o");
+  const std::string query =
+      "SELECT DISTINCT ?s ?x WHERE { { ?s <p> ?x } UNION { ?s <q> <o> } }";
+  QueryEngine engine(&store);
+  for (ExecMode mode : {ExecMode::kStreaming, ExecMode::kMaterialized}) {
+    engine.set_exec_mode(mode);
+    auto r = engine.ExecuteString(query);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->NumRows(), 2u) << "DISTINCT merged unbound with \"\"";
+    // One row binds ?x to the empty literal, the other leaves it UNDEF.
+    int undef = 0, empty_lit = 0;
+    for (const auto& row : r->rows) {
+      if (row[1].is_undef()) ++undef;
+      if (row[1].is_literal() && row[1].lexical.empty()) ++empty_lit;
+    }
+    EXPECT_EQ(undef, 1);
+    EXPECT_EQ(empty_lit, 1);
+  }
+}
+
 // The store's index flush (and the N-Triples bulk load above it) runs on
 // the shared thread pool; every query result table must be identical no
 // matter how many pool threads rebuilt the permutation runs. Full result
@@ -638,6 +730,57 @@ TEST(ExecOracleTest, ResultTablesIdenticalAcrossThreadCounts) {
   const std::vector<Table> want = run(1);
   for (int threads : {2, 4})
     EXPECT_EQ(want, run(threads)) << threads << " threads";
+}
+
+// The tentpole guarantee for the morsel-driven executor: with the
+// parallel operators engaged (tiny thresholds + force_parallel), the
+// result tables — in emission order, not just as multisets — are
+// bitwise-identical at 1, 2 and 4 pool threads, and identical to the
+// plain serial streaming run. DISTINCT/LIMIT/OFFSET cases are included
+// so the modifier pipeline sees the same stream too.
+TEST(ExecOracleTest, ParallelOperatorsIdenticalAcrossThreadCounts) {
+  kgnet::testing::ThreadCountGuard thread_guard;
+  GenOptions opts;
+  opts.filters = true;
+  opts.unions = true;
+  opts.optionals = true;
+  opts.modifiers = true;
+  opts.distinct = true;
+
+  using OrderedTable = std::vector<std::vector<Term>>;
+  auto run = [&](int threads, bool parallel_ops) {
+    common::ThreadPool::SetNumThreads(threads);
+    std::unique_ptr<TinyMorselGuard> morsels;
+    if (parallel_ops) morsels = std::make_unique<TinyMorselGuard>();
+    std::vector<OrderedTable> tables;
+    for (uint64_t seed = 9100; seed < 9116; ++seed) {
+      tensor::Rng rng(seed);
+      Case c = GenerateCase(&rng, opts);
+      rdf::TripleStore store;
+      for (const RTriple& f : c.facts) {
+        auto to_term = [](const RTerm& t) {
+          return t.iri ? Term::Iri(t.lex)
+                       : Term::TypedLiteral(
+                             t.lex,
+                             "http://www.w3.org/2001/XMLSchema#integer");
+        };
+        store.Insert(to_term(f.s), to_term(f.p), to_term(f.o));
+      }
+      QueryEngine engine(&store);
+      engine.set_exec_mode(ExecMode::kStreaming);
+      auto result = engine.ExecuteString(c.sparql);
+      EXPECT_TRUE(result.ok())
+          << result.status() << "\nseed=" << seed << "\n" << c.sparql;
+      tables.push_back(result.ok() ? result->rows : OrderedTable{});
+    }
+    return tables;
+  };
+
+  const std::vector<OrderedTable> serial = run(1, /*parallel_ops=*/false);
+  for (int threads : {1, 2, 4}) {
+    EXPECT_TRUE(serial == run(threads, /*parallel_ops=*/true))
+        << "parallel executor diverged at " << threads << " threads";
+  }
 }
 
 }  // namespace

@@ -38,6 +38,68 @@ TEST(NTriplesTest, ParsesEscapes) {
   EXPECT_EQ(r->o.lexical, "line\nbreak \"q\" \\");
 }
 
+TEST(NTriplesTest, ParsesGrammarEscapes) {
+  // The full ECHAR set: \t \b \n \r \f \" \' \\.
+  auto r = ParseNTriplesLine("<a> <p> \"\\t\\b\\n\\r\\f\\\"\\'\\\\\" .");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->o.lexical, "\t\b\n\r\f\"'\\");
+}
+
+TEST(NTriplesTest, DecodesUcharEscapes) {
+  auto ascii = ParseNTriplesLine("<a> <p> \"\\u0041\\u005A\" .");
+  ASSERT_TRUE(ascii.ok()) << ascii.status();
+  EXPECT_EQ(ascii->o.lexical, "AZ");
+
+  auto two_byte = ParseNTriplesLine("<a> <p> \"caf\\u00E9\" .");
+  ASSERT_TRUE(two_byte.ok()) << two_byte.status();
+  EXPECT_EQ(two_byte->o.lexical, "caf\xC3\xA9");  // é
+
+  auto three_byte = ParseNTriplesLine("<a> <p> \"\\u20AC\" .");
+  ASSERT_TRUE(three_byte.ok()) << three_byte.status();
+  EXPECT_EQ(three_byte->o.lexical, "\xE2\x82\xAC");  // €
+
+  auto four_byte = ParseNTriplesLine("<a> <p> \"\\U0001F600\" .");
+  ASSERT_TRUE(four_byte.ok()) << four_byte.status();
+  EXPECT_EQ(four_byte->o.lexical, "\xF0\x9F\x98\x80");  // 😀
+
+  // Mixed with ordinary text and other escapes.
+  auto mixed = ParseNTriplesLine("<a> <p> \"a\\u0062c\\nd\" .");
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_EQ(mixed->o.lexical, "abc\nd");
+}
+
+TEST(NTriplesTest, RejectsInvalidUcharEscapes) {
+  // Truncated digit runs.
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\u12\" .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\U0001F60\" .").ok());
+  // Non-hex digits.
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\u12G4\" .").ok());
+  // Surrogate halves and beyond-Unicode code points are not characters.
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\uD800\" .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\uDFFF\" .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<a> <p> \"\\U00110000\" .").ok());
+}
+
+TEST(NTriplesTest, UcharLiteralsRoundTripThroughStore) {
+  TripleStore store;
+  auto n = LoadNTriples(
+      "<http://s> <http://p> \"caf\\u00E9 \\U0001F600\" .\n"
+      "<http://s> <http://p> \"plain\" .\n",
+      &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+
+  std::ostringstream os;
+  ASSERT_TRUE(WriteNTriples(store, os).ok());
+  TripleStore reloaded;
+  auto m = LoadNTriples(os.str(), &reloaded);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(*m, 2u);
+  // The decoded UTF-8 form is what survives the round trip.
+  EXPECT_NE(reloaded.dict().Find(Term::Literal("caf\xC3\xA9 \xF0\x9F\x98\x80")),
+            kNullTermId);
+}
+
 TEST(NTriplesTest, ParsesBlankNodes) {
   auto r = ParseNTriplesLine("_:b1 <p> _:b2 .");
   ASSERT_TRUE(r.ok());
