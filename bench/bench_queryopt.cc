@@ -42,6 +42,14 @@ double MedianMs(std::vector<double>* samples) {
   return (*samples)[samples->size() / 2];
 }
 
+double PercentileMs(std::vector<double>* samples, double pct) {
+  std::sort(samples->begin(), samples->end());
+  const size_t n = samples->size();
+  size_t idx = static_cast<size_t>(pct / 100.0 * static_cast<double>(n));
+  if (idx >= n) idx = n - 1;
+  return (*samples)[idx];
+}
+
 /// Executes `query` `reps` times in `mode`; returns (median ms, rows).
 std::pair<double, size_t> TimeQuery(kgnet::sparql::QueryEngine* engine,
                                     const kgnet::sparql::Query& query,
@@ -316,6 +324,101 @@ int RunThreadScalingBench(kgnet::bench::ShapeChecker* shape,
   return 0;
 }
 
+struct MixedReadWriteResult {
+  int iterations = 0;
+  int batch_triples = 0;
+  double snapshot_p50_ms = 0, snapshot_p99_ms = 0;
+  double stall_p50_ms = 0, stall_p99_ms = 0;
+};
+
+/// Part 5: reader latency under a concurrent write stream. The MVCC
+/// read path answers queries on a dirty store by merging the
+/// uncompacted delta under a snapshot; the pre-MVCC store rebuilt the
+/// permutation runs on the first read after any write. Per iteration a
+/// small mutation batch lands and one star3 query is timed — as-is for
+/// the snapshot path, with the compaction forced onto the read for the
+/// stall path (exactly what the old first-dirty-read paid).
+int RunMixedReadWriteBench(kgnet::bench::ShapeChecker* shape,
+                           kgnet::rdf::TripleStore* store,
+                           MixedReadWriteResult* out) {
+  using namespace kgnet;
+
+  const std::string px = "PREFIX dblp: <https://dblp.org/rdf/>\n";
+  auto parsed = sparql::ParseQuery(
+      px + "SELECT ?p ?v ?a WHERE { ?p a dblp:Publication . "
+           "?p dblp:publishedIn ?v . ?p dblp:authoredBy ?a . }");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  sparql::QueryEngine engine(store);
+  engine.set_exec_mode(sparql::ExecMode::kStreaming);
+
+  const rdf::Term type = rdf::Term::Iri(std::string(rdf::kRdfType));
+  const rdf::Term pub = rdf::Term::Iri(workload::DblpSchema::Publication());
+  const rdf::Term in = rdf::Term::Iri(workload::DblpSchema::PublishedIn());
+  const rdf::Term by = rdf::Term::Iri(workload::DblpSchema::AuthoredBy());
+  const rdf::Term venue = rdf::Term::Iri("https://dblp.org/rdf/venue/mixed");
+  const rdf::Term author =
+      rdf::Term::Iri("https://dblp.org/rdf/person/mixed");
+
+  constexpr int kIters = 40;
+  constexpr int kPubsPerBatch = 4;  // three triples per publication
+  int next_id = 0;
+  auto run_mode = [&](bool stall_on_read, std::vector<double>* samples) {
+    for (int it = 0; it < kIters; ++it) {
+      for (int i = 0; i < kPubsPerBatch; ++i) {
+        const rdf::Term s =
+            rdf::Term::Iri("https://dblp.org/rdf/publication/mixed" +
+                           std::to_string(next_id++));
+        store->Insert(s, type, pub);
+        store->Insert(s, in, venue);
+        store->Insert(s, by, author);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      if (stall_on_read) store->Compact();
+      auto r = engine.Execute(*parsed);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return false;
+      }
+      samples->push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return true;
+  };
+
+  store->Compact();  // both modes start from a clean generation
+  std::vector<double> snap_ms, stall_ms;
+  if (!run_mode(false, &snap_ms)) return 1;
+  store->Compact();
+  if (!run_mode(true, &stall_ms)) return 1;
+
+  out->iterations = kIters;
+  out->batch_triples = kPubsPerBatch * 3;
+  out->snapshot_p50_ms = PercentileMs(&snap_ms, 50);
+  out->snapshot_p99_ms = PercentileMs(&snap_ms, 99);
+  out->stall_p50_ms = PercentileMs(&stall_ms, 50);
+  out->stall_p99_ms = PercentileMs(&stall_ms, 99);
+
+  std::printf("\nMIXED READ+WRITE (%d-triple batch before every read)\n\n",
+              out->batch_triples);
+  std::printf("%-22s %12s %12s\n", "read path", "p50 (ms)", "p99 (ms)");
+  std::printf("%-22s %12.3f %12.3f\n", "snapshot merge", out->snapshot_p50_ms,
+              out->snapshot_p99_ms);
+  std::printf("%-22s %12.3f %12.3f\n", "stall on compaction",
+              out->stall_p50_ms, out->stall_p99_ms);
+
+  // The headline claim of the versioned store: a reader on a dirty
+  // store no longer pays the index rebuild.
+  shape->Check(out->snapshot_p50_ms <= out->stall_p50_ms,
+               "dirty-store reader p50: snapshot merge beats stall-on-flush");
+  shape->Check(out->snapshot_p99_ms <= out->stall_p99_ms * 1.10 + 0.05,
+               "dirty-store reader p99: snapshot merge beats stall-on-flush");
+  return 0;
+}
+
 /// Part 2: per-shape old-vs-new executor timings on a plain DBLP KG.
 int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
   using namespace kgnet;
@@ -426,6 +529,11 @@ int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
   std::vector<ThreadScalingResult> scaling;
   if (RunThreadScalingBench(shape, &store, &scaling) != 0) return 1;
 
+  // Part 5: reader latency under writes, snapshot merge vs stall
+  // (mutates the graph, so it runs after every read-only section).
+  MixedReadWriteResult mixed;
+  if (RunMixedReadWriteBench(shape, &store, &mixed) != 0) return 1;
+
   // Machine-readable output for tracking across revisions.
   FILE* json = std::fopen("BENCH_queryopt.json", "w");
   if (json != nullptr) {
@@ -463,6 +571,14 @@ int RunExecutorBench(kgnet::bench::ShapeChecker* shape) {
                    i + 1 < mem.size() ? "," : "");
     }
     std::fprintf(json, "    ]\n  },\n");
+    std::fprintf(json,
+                 "  \"mixed_read_write\": {\"iterations\": %d, "
+                 "\"batch_triples\": %d, \"snapshot_p50_ms\": %.4f, "
+                 "\"snapshot_p99_ms\": %.4f, \"stall_p50_ms\": %.4f, "
+                 "\"stall_p99_ms\": %.4f},\n",
+                 mixed.iterations, mixed.batch_triples, mixed.snapshot_p50_ms,
+                 mixed.snapshot_p99_ms, mixed.stall_p50_ms,
+                 mixed.stall_p99_ms);
     std::fprintf(json, "  \"thread_scaling\": [\n");
     for (size_t i = 0; i < scaling.size(); ++i) {
       const ThreadScalingResult& r = scaling[i];

@@ -56,6 +56,25 @@ void PrintHelp() {
 void PrintStats(const kgnet::rdf::TripleStore& store) {
   kgnet::rdf::GraphStats stats = kgnet::rdf::ComputeGraphStats(store);
   std::printf("%s", kgnet::rdf::FormatStatsTable("(loaded)", stats).c_str());
+  // Versioned-storage introspection: generation runs, delta layer, and
+  // compaction/GC counters (see docs/STORAGE.md).
+  const kgnet::rdf::TripleStore::Stats st = store.GetStats();
+  std::printf("\nstorage (epoch %llu, generation sealed at %llu)\n",
+              static_cast<unsigned long long>(st.epoch),
+              static_cast<unsigned long long>(st.generation_epoch));
+  for (int i = 0; i < kgnet::rdf::kNumIndexOrders; ++i) {
+    const auto order = static_cast<kgnet::rdf::IndexOrder>(i);
+    if (!store.has_index(order)) continue;
+    std::printf("  run %-3s  %10zu bytes\n", kgnet::rdf::IndexOrderName(order),
+                st.run_bytes[static_cast<size_t>(i)]);
+  }
+  std::printf("  runs total       %10zu bytes (%zu triples)\n",
+              st.total_run_bytes, st.generation_triples);
+  std::printf("  delta            %10zu ops (%zu inserts, %zu tombstones)\n",
+              st.delta_ops, st.delta_inserts, st.delta_tombstones);
+  std::printf("  generations live %10lld   compactions %llu\n",
+              static_cast<long long>(st.live_generations),
+              static_cast<unsigned long long>(st.compactions));
 }
 
 void PrintModels(kgnet::core::KgNet& kg) {

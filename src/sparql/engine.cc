@@ -97,7 +97,7 @@ Status EvalPatternsLegacy(const GraphPattern& gp, EvalContext* ctx,
       for (size_t i = 0; i < patterns.size(); ++i) {
         if (used[i]) continue;
         TriplePattern bound = BindPattern(patterns[i], sol);
-        size_t card = ctx->store->EstimateCardinality(bound);
+        size_t card = ctx->snapshot.EstimateCardinality(bound);
         if (card < best_card) {
           best_card = card;
           best = static_cast<int>(i);
@@ -106,7 +106,7 @@ Status EvalPatternsLegacy(const GraphPattern& gp, EvalContext* ctx,
       const CompiledPattern& cp = patterns[best];
       used[best] = true;
       TriplePattern bound = BindPattern(cp, sol);
-      ctx->store->Scan(bound, [&](const Triple& t) {
+      ctx->snapshot.Scan(bound, [&](const Triple& t) {
         // Bind free positions; check join consistency for repeated vars.
         TermId olds = cp.s_slot >= 0 ? sol[cp.s_slot] : kNullTermId;
         TermId oldp = cp.p_slot >= 0 ? sol[cp.p_slot] : kNullTermId;
@@ -320,9 +320,9 @@ Result<QueryResult> ExecuteSinglePattern(const Query& query,
   const size_t width = ctx->vars.size();
   Solution sol(width, kNullTermId);
   const TriplePattern consts = BindPattern(cp, sol);
-  const rdf::TripleStore* store = ctx->store;
+  const rdf::Snapshot& snapshot = ctx->snapshot;
   rdf::TripleCursor cursor =
-      store->OpenCursor(store->ChooseIndex(consts), consts);
+      snapshot.OpenCursor(snapshot.ChooseIndex(consts), consts);
 
   // One matching, consistently-bound solution per call.
   auto next = [&](Solution* s) {
@@ -452,6 +452,7 @@ size_t QueryEngine::EstimateWhereCardinality(const Query& query) const {
 Result<std::string> QueryEngine::Explain(const Query& query) {
   EvalContext ctx;
   ctx.store = store_;
+  ctx.snapshot = store_->OpenSnapshot();
   ctx.udfs = &udfs_;
   // Pre-register variables in the same order Execute() would, so the plan
   // shows the slots a real execution uses. Sub-SELECT columns come first.
@@ -468,6 +469,8 @@ Result<std::string> QueryEngine::Explain(const Query& query) {
   if (!query.where.subselects.empty())
     out += "(+ " + std::to_string(query.where.subselects.size()) +
            " sub-SELECT seed(s))\n";
+  out += "Snapshot(epoch=" + std::to_string(ctx.snapshot.epoch()) +
+         " delta=" + std::to_string(ctx.snapshot.delta_size()) + ")\n";
   return out;
 }
 
@@ -477,9 +480,20 @@ Result<std::string> QueryEngine::ExplainString(std::string_view text) {
 }
 
 Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
+  return Execute(query, store_->OpenSnapshot(), info);
+}
+
+Result<QueryResult> QueryEngine::Execute(const Query& query,
+                                         const rdf::Snapshot& snapshot,
+                                         ExecInfo* info) {
   EvalContext ctx;
   ctx.store = store_;
+  ctx.snapshot = snapshot;
   ctx.udfs = &udfs_;
+  if (info != nullptr) {
+    info->snapshot_epoch = snapshot.epoch();
+    info->snapshot_delta = snapshot.delta_size();
+  }
   ExecStats stats;
   const bool streaming = mode_ == ExecMode::kStreaming;
 
@@ -499,7 +513,10 @@ Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
   seeds.emplace_back();  // one empty solution
   for (const auto& sub : query.where.subselects) {
     ExecInfo sub_info;
-    KGNET_ASSIGN_OR_RETURN(QueryResult sub_result, Execute(*sub, &sub_info));
+    // Sub-SELECTs read through the same snapshot, so the whole query —
+    // outer BGP and seeds alike — observes one storage epoch.
+    KGNET_ASSIGN_OR_RETURN(QueryResult sub_result,
+                           Execute(*sub, ctx.snapshot, &sub_info));
     stats.rows_scanned += sub_info.rows_scanned;
     // Register subselect output columns as variables.
     std::vector<int> slots;

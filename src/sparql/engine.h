@@ -55,6 +55,11 @@ struct ExecInfo {
   std::string plan;
   /// Matching triples pulled out of index cursors across the whole query.
   size_t rows_scanned = 0;
+  /// The storage epoch the query's snapshot observed and the number of
+  /// uncompacted delta entries it merged over the run generation (see
+  /// rdf::Snapshot) — every read in the query saw exactly this epoch.
+  uint64_t snapshot_epoch = 0;
+  size_t snapshot_delta = 0;
 };
 
 /// Executes SPARQL queries against a single TripleStore.
@@ -79,9 +84,17 @@ class QueryEngine {
   /// Parses and executes `text`.
   Result<QueryResult> ExecuteString(std::string_view text);
 
-  /// Executes an already-parsed query. `info`, when non-null, receives
-  /// the chosen plan and runtime counters.
+  /// Executes an already-parsed query against a snapshot opened at call
+  /// time. `info`, when non-null, receives the chosen plan and runtime
+  /// counters.
   Result<QueryResult> Execute(const Query& query, ExecInfo* info = nullptr);
+
+  /// Executes an already-parsed query against an explicit storage
+  /// snapshot — all reads (planner estimates, scans, sub-SELECTs) see
+  /// that epoch even if the store has mutated since it was opened.
+  /// Updates (INSERT/DELETE) still apply to the live store.
+  Result<QueryResult> Execute(const Query& query, const rdf::Snapshot& snapshot,
+                              ExecInfo* info = nullptr);
 
   /// Renders the physical plan the streaming executor would use for the
   /// WHERE clause of `query` (plus Project/Limit wrappers for SELECT)

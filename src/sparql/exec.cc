@@ -208,13 +208,17 @@ void IndexScan::Open(const Solution& outer) {
   base_ = outer;
   base_.resize(width_, kNullTermId);
   TriplePattern pattern = BindPattern(cp_, base_);
-  rdf::IndexOrder order = order_ ? *order_ : store_->ChooseIndex(pattern);
-  cursor_ = store_->OpenCursor(order, pattern);
+  rdf::IndexOrder order = order_ ? *order_ : snapshot_->ChooseIndex(pattern);
+  cursor_ = snapshot_->OpenCursor(order, pattern);
   cfg_ = GetMorselConfig();
   if (cfg_.scan_morsel_rows == 0) cfg_.scan_morsel_rows = 1;
   total_rows_ = cursor_.remaining();
-  parallel_ =
-      ParallelEligible(cfg_) && total_rows_ >= cfg_.scan_min_parallel_rows;
+  // Slice() carves the generation-run range, so morsel decode requires a
+  // delta-free range (sliceable); a dirty range streams serially via the
+  // merging cursor until the next compaction.
+  parallel_ = ParallelEligible(cfg_) &&
+              total_rows_ >= cfg_.scan_min_parallel_rows &&
+              cursor_.sliceable();
   scan_pos_ = 0;
   wave_morsels_ = 1;
   buf_.clear();

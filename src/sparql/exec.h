@@ -70,9 +70,15 @@ class VarTable {
 /// One (partial) solution: slot -> bound term id (kNullTermId = unbound).
 using Solution = std::vector<rdf::TermId>;
 
-/// Shared state for one query execution.
+/// Shared state for one query execution. All data reads go through
+/// `snapshot` — one epoch-stamped view opened at plan time, so the
+/// whole query (planner estimates, scans, sub-SELECTs) observes a
+/// single consistent epoch regardless of concurrent writers. The store
+/// pointer remains for the dictionary (term interning/lookup) and for
+/// applying updates.
 struct EvalContext {
   rdf::TripleStore* store = nullptr;
+  rdf::Snapshot snapshot;
   UdfRegistry* udfs = nullptr;
   VarTable vars;
 };
@@ -212,10 +218,10 @@ class SeedScan : public Operator {
 /// from the then-bound positions (the BindJoin inner side).
 class IndexScan : public Operator {
  public:
-  IndexScan(rdf::TripleStore* store, const CompiledPattern& cp, size_t width,
-            std::optional<rdf::IndexOrder> order, int ordered_slot,
-            ExecStats* stats)
-      : store_(store),
+  IndexScan(const rdf::Snapshot* snapshot, const CompiledPattern& cp,
+            size_t width, std::optional<rdf::IndexOrder> order,
+            int ordered_slot, ExecStats* stats)
+      : snapshot_(snapshot),
         cp_(cp),
         width_(width),
         order_(order),
@@ -234,7 +240,7 @@ class IndexScan : public Operator {
   /// (parallel mode only).
   void DecodeWave();
 
-  rdf::TripleStore* store_;
+  const rdf::Snapshot* snapshot_;
   CompiledPattern cp_;
   size_t width_;
   std::optional<rdf::IndexOrder> order_;

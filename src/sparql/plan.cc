@@ -171,8 +171,8 @@ std::string RenderPlanTree(const PlanNode& root) {
 Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                            const std::vector<Solution>* seeds,
                            ExecStats* stats, bool build_desc) {
-  rdf::TripleStore* store = ctx->store;
-  const double log_n = std::log2(static_cast<double>(store->size()) + 2.0);
+  const rdf::Snapshot& snapshot = ctx->snapshot;
+  const double log_n = std::log2(static_cast<double>(snapshot.size()) + 2.0);
 
   // --- compile patterns and filters first so the slot width is final ---
   std::vector<PatternState> patterns;
@@ -198,7 +198,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
   for (PatternState& ps : patterns) {
     const Solution empty(width, kNullTermId);
     ps.consts = BindPattern(ps.cp, empty);
-    ps.out_est = std::min(store->EstimateCardinality(ps.consts), kMaxEst);
+    ps.out_est = std::min(snapshot.EstimateCardinality(ps.consts), kMaxEst);
     for (int pos = 0; pos < 3; ++pos) {
       int slot = SlotAtPosition(ps.cp, pos);
       if (slot >= 0) ps.slots.push_back(slot);
@@ -215,7 +215,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     ps.choices.reserve(static_cast<size_t>(rdf::kNumIndexOrders));
     for (int i = 0; i < rdf::kNumIndexOrders; ++i) {
       const IndexOrder order = static_cast<IndexOrder>(i);
-      if (!store->has_index(order)) continue;
+      if (!snapshot.has_index(order)) continue;
       ScanChoice c;
       c.order = order;
       auto positions = IndexOrderPositions(c.order);
@@ -230,11 +230,12 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
                                    prefix_len)]])
         ++prefix_len;
       if (prefix_len == 0) {
-        c.range = std::min(store->size(), kMaxEst);
+        c.range = std::min(snapshot.size(), kMaxEst);
       } else if (prefix_len == num_bound) {
         c.range = ps.out_est;
       } else {
-        c.range = std::min(store->EstimateRange(c.order, ps.consts), kMaxEst);
+        c.range =
+            std::min(snapshot.EstimateRange(c.order, ps.consts), kMaxEst);
       }
       c.ordered_slot = -1;
       for (int k = 0; k < 3; ++k) {
@@ -350,10 +351,11 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
   auto make_scan = [&](PatternState& ps, const ScanChoice* choice)
       -> std::unique_ptr<Operator> {
     if (choice != nullptr)
-      return std::make_unique<IndexScan>(store, ps.cp, width, choice->order,
-                                         choice->ordered_slot, stats);
-    return std::make_unique<IndexScan>(store, ps.cp, width, std::nullopt, -1,
-                                       stats);
+      return std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
+                                         choice->order, choice->ordered_slot,
+                                         stats);
+    return std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
+                                       std::nullopt, -1, stats);
   };
 
   // --- initial relation: the most selective pattern ---

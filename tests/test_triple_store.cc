@@ -149,8 +149,8 @@ TEST_F(TripleStoreTest, ScanEarlyStop) {
 TEST_F(TripleStoreTest, InterleavedInsertEraseScan) {
   Add("a", "p", "x");
   store_.FlushInserts();
-  Add("b", "p", "y");  // pending
-  // Scan must see both (auto-flush).
+  Add("b", "p", "y");  // in the delta, not yet compacted
+  // Scan must see both (run ∪ delta merge).
   EXPECT_EQ(store_.Match(TriplePattern()).size(), 2u);
   Add("c", "p", "z");
   const Dictionary& d = store_.dict();
@@ -253,17 +253,18 @@ TEST_F(TripleStoreTest, EraseRemovesFromAllSixIndexes) {
 }
 
 TEST_F(TripleStoreTest, InsertEraseInsertLandsInIndexes) {
-  // Regression for the buffered-mutation path: a triple erased while its
-  // insert was still pending, then re-inserted after a flush, must end up
-  // in the runs exactly once.
+  // Regression for the delta path: a triple erased while its insert was
+  // still in the log, then re-inserted, must end up in the next
+  // generation exactly once — last-op-wins collapse, no double entry.
   Add("a", "p", "x");
   const Dictionary& d = store_.dict();
   Triple t(d.FindIri("a"), d.FindIri("p"), d.FindIri("x"));
-  EXPECT_TRUE(store_.Erase(t));   // still pending: dropped before flush
-  EXPECT_TRUE(store_.Insert(t));  // pending again
-  EXPECT_EQ(store_.Match(TriplePattern()).size(), 1u);  // flushes
-  EXPECT_TRUE(store_.Erase(t));   // now in the runs: buffered erase
-  EXPECT_TRUE(store_.Insert(t));  // re-insert before the erase flushed
+  EXPECT_TRUE(store_.Erase(t));   // still in the log: cancels the insert
+  EXPECT_TRUE(store_.Insert(t));  // logged again
+  EXPECT_EQ(store_.Match(TriplePattern()).size(), 1u);
+  store_.Compact();               // seal into the generation
+  EXPECT_TRUE(store_.Erase(t));   // now in the runs: logged tombstone
+  EXPECT_TRUE(store_.Insert(t));  // re-insert cancels the tombstone
   EXPECT_EQ(store_.Match(TriplePattern()).size(), 1u);
   EXPECT_TRUE(store_.Contains(t));
 }
@@ -482,14 +483,14 @@ TEST_P(TripleStorePropertyTest, MatchAgreesWithNaiveOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
-TEST(TripleStoreConcurrencyTest, ConcurrentReadersRaceToTriggerOneFlush) {
-  // Regression for the static-analysis gate's annotation pass: the
-  // pending-mutation buffers are guarded by pending_mu_
-  // (KGNET_GUARDED_BY in triple_store.h), so when several readers hit a
-  // dirty store at once, exactly one rebuilds the runs and the rest
-  // block, then see empty buffers. Before the lock, every reader ran
-  // the rebuild concurrently — a data race on the runs and the
-  // MemoryMeter index pool (this test under the tsan preset pins it).
+TEST(TripleStoreConcurrencyTest, ConcurrentReadersOnADirtyStoreStayExact) {
+  // MVCC read path: several readers hitting a dirty store (hundreds of
+  // uncompacted log entries) each open their own snapshot and merge the
+  // delta over the shared immutable generation — no reader ever
+  // rebuilds an index, and every count/estimate is exact. The first
+  // snapshot of the epoch builds the shared DeltaView under mu_; the
+  // rest reuse it (this test under the tsan preset pins the cache
+  // handoff and the shared-generation refcounting).
   TripleStore store;
   tensor::Rng rng(77);
   size_t p0_expected = 0;
@@ -504,9 +505,8 @@ TEST(TripleStoreConcurrencyTest, ConcurrentReadersRaceToTriggerOneFlush) {
   const TermId p0 = store.dict().FindIri("p0");
   const size_t total = store.size();
   ASSERT_NE(p0, kNullTermId);
+  ASSERT_GT(store.GetStats().delta_ops, 0u) << "store should still be dirty";
 
-  // All readers start on a dirty store (inserts still buffered) and race
-  // into the lazy flush inside Count/EstimateCardinality.
   constexpr int kReaders = 8;
   std::vector<size_t> counts(kReaders, 0), estimates(kReaders, 0);
   {
@@ -514,10 +514,11 @@ TEST(TripleStoreConcurrencyTest, ConcurrentReadersRaceToTriggerOneFlush) {
     readers.reserve(kReaders);
     for (int r = 0; r < kReaders; ++r) {
       readers.emplace_back([&, r] {
+        Snapshot snap = store.OpenSnapshot();
         TriplePattern by_pred;
         by_pred.p = p0;
-        counts[r] = store.Count(by_pred);
-        estimates[r] = store.EstimateCardinality(TriplePattern());
+        counts[r] = snap.Count(by_pred);
+        estimates[r] = snap.EstimateCardinality(TriplePattern());
       });
     }
     for (std::thread& t : readers) t.join();
@@ -526,6 +527,200 @@ TEST(TripleStoreConcurrencyTest, ConcurrentReadersRaceToTriggerOneFlush) {
     EXPECT_EQ(counts[r], p0_expected) << "reader " << r;
     EXPECT_EQ(estimates[r], total) << "reader " << r;
   }
+  // The reads left the store exactly as dirty as they found it.
+  EXPECT_GT(store.GetStats().delta_ops, 0u);
+}
+
+// ------------------------------------------------------- MVCC snapshots --
+
+TEST(TripleStoreSnapshotTest, SnapshotIsUnaffectedByLaterMutations) {
+  TripleStore store;
+  store.InsertIris("a", "p", "x");
+  store.InsertIris("b", "p", "y");
+  const Dictionary& d = store.dict();
+  const Triple ax(d.FindIri("a"), d.FindIri("p"), d.FindIri("x"));
+
+  Snapshot snap = store.OpenSnapshot();
+  const uint64_t epoch = snap.epoch();
+  const std::vector<Triple> before = snap.Match(TriplePattern());
+  ASSERT_EQ(before.size(), 2u);
+
+  // Mutate underneath: erase one, add two, then compact.
+  EXPECT_TRUE(store.Erase(ax));
+  store.InsertIris("c", "p", "z");
+  store.InsertIris("a", "q", "w");
+  EXPECT_EQ(snap.Match(TriplePattern()), before);
+  store.Compact();
+  EXPECT_EQ(snap.Match(TriplePattern()), before);
+  EXPECT_EQ(snap.epoch(), epoch);
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap.Contains(ax));
+  EXPECT_FALSE(store.Contains(ax));
+  EXPECT_EQ(store.size(), 3u);
+}
+
+TEST(TripleStoreSnapshotTest, SnapshotOutlivesTheStore) {
+  Snapshot snap;
+  Triple t;
+  {
+    TripleStore store;
+    for (int i = 0; i < 50; ++i)
+      store.InsertIris("s" + std::to_string(i), "p", "o");
+    const Dictionary& d = store.dict();
+    t = Triple(d.FindIri("s7"), d.FindIri("p"), d.FindIri("o"));
+    snap = store.OpenSnapshot();
+  }  // store destroyed; the snapshot pins the generation and delta view
+  EXPECT_EQ(snap.size(), 50u);
+  EXPECT_TRUE(snap.Contains(t));
+  EXPECT_EQ(snap.Match(TriplePattern()).size(), 50u);
+}
+
+TEST(TripleStoreSnapshotTest, EstimatesStayExactOnADirtyStore) {
+  // The delta view keeps only *definite* entries (inserts the generation
+  // lacks, tombstones for rows it has), so every range estimate is
+  // exact even with a large uncompacted delta in play.
+  TripleStore store;
+  tensor::Rng rng(2024);
+  for (int i = 0; i < 300; ++i)
+    store.InsertIris("s" + std::to_string(rng.NextUint(25)),
+                     "p" + std::to_string(rng.NextUint(4)),
+                     "o" + std::to_string(rng.NextUint(30)));
+  store.Compact();
+  // Dirty it: erase some sealed rows, insert fresh ones, re-insert an
+  // erased one (the log holds redundant + cancelling entries).
+  std::vector<Triple> all = store.Match(TriplePattern());
+  for (size_t i = 0; i < 40; ++i) store.Erase(all[rng.NextUint(all.size())]);
+  for (int i = 0; i < 60; ++i)
+    store.InsertIris("t" + std::to_string(rng.NextUint(20)),
+                     "p" + std::to_string(rng.NextUint(4)),
+                     "o" + std::to_string(rng.NextUint(30)));
+  ASSERT_GT(store.GetStats().delta_ops, 0u);
+
+  Snapshot snap = store.OpenSnapshot();
+  EXPECT_EQ(snap.size(), snap.Match(TriplePattern()).size());
+  tensor::Rng probe(2025);
+  std::vector<Triple> live = snap.Match(TriplePattern());
+  for (int trial = 0; trial < 60; ++trial) {
+    const Triple& p = live[probe.NextUint(live.size())];
+    TriplePattern pat;
+    if (probe.NextFloat() < 0.5f) pat.s = p.s;
+    if (probe.NextFloat() < 0.5f) pat.p = p.p;
+    if (probe.NextFloat() < 0.5f) pat.o = p.o;
+    const size_t want = snap.Count(pat);
+    EXPECT_EQ(snap.EstimateCardinality(pat), want);
+    EXPECT_EQ(snap.EstimateRange(snap.ChooseIndex(pat), pat), want);
+  }
+  // And compaction does not change what any reader sees.
+  store.Compact();
+  EXPECT_EQ(store.Match(TriplePattern()), live);
+}
+
+TEST(TripleStoreSnapshotTest, CursorsAreSliceableOnlyWhenRangeIsClean) {
+  TripleStore store;
+  for (int i = 0; i < 100; ++i)
+    store.InsertIris("s" + std::to_string(i), "p", "o");
+  store.Compact();
+  Snapshot clean = store.OpenSnapshot();
+  EXPECT_TRUE(
+      clean.OpenCursor(IndexOrder::kSpo, TriplePattern()).sliceable());
+
+  store.InsertIris("zz", "p", "o");  // dirties the full-scan range
+  Snapshot dirty = store.OpenSnapshot();
+  EXPECT_EQ(dirty.delta_size(), 1u);
+  EXPECT_FALSE(
+      dirty.OpenCursor(IndexOrder::kSpo, TriplePattern()).sliceable());
+  // A bound range the delta entry does not touch stays sliceable.
+  TriplePattern s0(store.dict().FindIri("s0"), 0, 0);
+  EXPECT_TRUE(dirty.OpenCursor(IndexOrder::kSpo, s0).sliceable());
+}
+
+TEST(TripleStoreSnapshotTest, WriterTriggeredCompactionKeepsLogBounded) {
+  TripleStore::Options opts;
+  opts.delta_compact_threshold = 32;
+  TripleStore store(opts);
+  for (int i = 0; i < 500; ++i)
+    store.InsertIris("s" + std::to_string(i), "p", "o" + std::to_string(i));
+  const TripleStore::Stats stats = store.GetStats();
+  EXPECT_GT(stats.compactions, 0u);
+  // The trigger is max(32, generation/4), so the log stays within one
+  // trigger window of the geometric bound.
+  EXPECT_LE(stats.delta_ops, std::max<size_t>(32, stats.generation_triples / 4));
+  EXPECT_EQ(store.size(), 500u);
+}
+
+// ------------------------------------------------------------- GetStats --
+
+TEST(TripleStoreStatsTest, StatsReportStorageStateWithoutCompacting) {
+  TripleStore store;
+  tensor::Rng rng(11);
+  for (int i = 0; i < 200; ++i)
+    store.InsertIris("s" + std::to_string(rng.NextUint(30)),
+                     "p" + std::to_string(rng.NextUint(5)),
+                     "o" + std::to_string(rng.NextUint(40)));
+  store.Compact();
+  const size_t sealed = store.size();
+  std::vector<Triple> all = store.Match(TriplePattern());
+  ASSERT_TRUE(store.Erase(all[0]));
+  ASSERT_TRUE(store.Erase(all[1]));
+  store.InsertIris("fresh", "p0", "fresh");
+
+  const TripleStore::Stats stats = store.GetStats();
+  EXPECT_EQ(stats.num_triples, sealed - 2 + 1);
+  EXPECT_EQ(stats.generation_triples, sealed);
+  EXPECT_EQ(stats.delta_ops, 3u);
+  EXPECT_EQ(stats.delta_inserts, 1u);
+  EXPECT_EQ(stats.delta_tombstones, 2u);
+  EXPECT_EQ(stats.epoch, stats.generation_epoch + 3);
+  EXPECT_GE(stats.compactions, 1u);
+  EXPECT_EQ(stats.live_generations, 1);
+  size_t sum = 0;
+  for (int oi = 0; oi < kNumIndexOrders; ++oi) {
+    EXPECT_GT(stats.run_bytes[static_cast<size_t>(oi)], 0u);
+    sum += stats.run_bytes[static_cast<size_t>(oi)];
+  }
+  EXPECT_EQ(stats.total_run_bytes, sum);
+  // Taking stats was pure: the delta is still uncompacted.
+  EXPECT_EQ(store.GetStats().delta_ops, 3u);
+
+  // A pinned superseded generation shows up in live_generations until
+  // the snapshot drops.
+  {
+    Snapshot pin = store.OpenSnapshot();
+    store.Compact();
+    EXPECT_EQ(store.GetStats().live_generations, 2);
+  }
+  EXPECT_EQ(store.GetStats().live_generations, 1);
+  EXPECT_EQ(store.GetStats().delta_ops, 0u);
+}
+
+// ------------------------------- KGNET_DELTA_COMPACT_THRESHOLD parsing --
+
+TEST(CompactThresholdEnvTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("1"), 1u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("4096"), 4096u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("  42  "), 42u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("\t7\t"), 7u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("001"), 1u);
+}
+
+TEST(CompactThresholdEnvTest, RejectsEverythingElse) {
+  // Same strict contract as ThreadPool::ParseThreadCountEnv: a plain
+  // positive decimal integer or nothing. 0 is the error value.
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv(nullptr), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv(""), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("   "), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("0"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("-2"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("+4"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("abc"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("12x"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("4 2"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("3.5"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("0x10"), 0u);
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("1e3"), 0u);
+  // Overflow past size_t is rejected, not wrapped.
+  EXPECT_EQ(TripleStore::ParseCompactThresholdEnv("99999999999999999999999"),
+            0u);
 }
 
 }  // namespace
