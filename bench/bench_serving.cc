@@ -1,0 +1,343 @@
+// Serving front-end benchmark: loopback throughput/latency of
+// kgnet_serve's protocol, the call-count reduction from inference
+// batching, the embedding-row cache, and admission control under
+// overload. Results go to BENCH_serving.json in the working directory.
+//
+// Identity claims (batched == unbatched, cached == uncached) are checked
+// unconditionally; coalescing-ratio bars need real concurrency and are
+// gated on hardware_concurrency >= 4 like bench_parallel's scaling bars.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/kgnet.h"
+#include "core/model_io.h"
+#include "serving/client.h"
+#include "serving/server.h"
+#include "workload/dblp_gen.h"
+
+namespace {
+
+using kgnet::core::KgNet;
+using kgnet::core::TrainTaskSpec;
+using kgnet::serving::KgClient;
+using kgnet::serving::KgServer;
+using kgnet::serving::ServerOptions;
+using kgnet::workload::DblpSchema;
+using Clock = std::chrono::steady_clock;
+
+double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double Percentile(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t idx = static_cast<size_t>(p * (samples->size() - 1));
+  return (*samples)[idx];
+}
+
+struct Setup {
+  KgNet kg;
+  std::string nc_uri;
+  std::string lp_uri;
+  std::string lp_bundle_uri;  // bundle-served copy: GEMM batch path
+  std::vector<std::string> papers;
+  std::vector<std::string> people;
+};
+
+bool Build(Setup* s) {
+  kgnet::workload::DblpOptions opts;
+  opts.num_papers = 120;
+  opts.num_authors = 60;
+  opts.num_venues = 4;
+  opts.num_affiliations = 8;
+  opts.include_periphery = false;
+  if (!kgnet::workload::GenerateDblp(opts, &s->kg.store()).ok()) return false;
+
+  TrainTaskSpec nc;
+  nc.task = kgnet::gml::TaskType::kNodeClassification;
+  nc.target_type_iri = DblpSchema::Publication();
+  nc.label_predicate_iri = DblpSchema::PublishedIn();
+  nc.config.epochs = 3;
+  nc.config.hidden_dim = 8;
+  nc.config.embed_dim = 8;
+  nc.model_name = "bench-nc";
+  auto nc_out = s->kg.TrainTask(nc);
+  if (!nc_out.ok()) return false;
+  s->nc_uri = nc_out->model_uri;
+
+  TrainTaskSpec lp;
+  lp.task = kgnet::gml::TaskType::kLinkPrediction;
+  lp.target_type_iri = DblpSchema::Person();
+  lp.destination_type_iri = DblpSchema::Affiliation();
+  lp.task_predicate_iri = DblpSchema::PrimaryAffiliation();
+  lp.config.epochs = 3;
+  lp.config.embed_dim = 8;
+  lp.model_name = "bench-lp";
+  auto lp_out = s->kg.TrainTask(lp);
+  if (!lp_out.ok()) return false;
+  s->lp_uri = lp_out->model_uri;
+
+  // A bundle-served copy of the LP model: serving from the persisted
+  // payload scores batches through the GEMM-shaped kernel.
+  auto& store = s->kg.service().model_store();
+  auto model = store.Get(s->lp_uri);
+  if (!model.ok()) return false;
+  auto bundle = kgnet::core::BuildServingBundle(**model);
+  if (!bundle.ok()) return false;
+  auto served = std::make_shared<kgnet::core::TrainedModel>();
+  served->info = (*model)->info;
+  served->info.uri = s->lp_uri + "-bundle";
+  served->bundle =
+      std::make_shared<kgnet::core::ServingBundle>(std::move(*bundle));
+  store.Put(served);
+  s->lp_bundle_uri = served->info.uri;
+
+  for (int i = 0; i < 40; ++i)
+    s->papers.push_back("https://dblp.org/rdf/publication/" +
+                        std::to_string(i));
+  for (int i = 0; i < 40; ++i)
+    s->people.push_back("https://dblp.org/rdf/person/" + std::to_string(i));
+  return true;
+}
+
+const char* kQueries[] = {
+    "SELECT ?p ?v WHERE { ?p <https://dblp.org/rdf/publishedIn> ?v . } "
+    "LIMIT 20",
+    "SELECT ?a WHERE { ?p <https://dblp.org/rdf/authoredBy> ?a . } LIMIT 10",
+    "ASK { ?p <https://dblp.org/rdf/publishedIn> ?v . }",
+};
+
+}  // namespace
+
+int main() {
+  kgnet::bench::ShapeChecker shape;
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+  std::printf("serving bench: hardware_concurrency=%d\n\n", hw);
+
+  Setup setup;
+  if (!Build(&setup)) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  kgnet::core::InferenceManager& im = setup.kg.service().inference_manager();
+
+  // ---- section 1: mixed read throughput over loopback ----
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  double qps = 0, p50 = 0, p99 = 0;
+  {
+    ServerOptions options;
+    options.num_workers = kClients;
+    KgServer server(&setup.kg.service(), options);
+    if (!server.Start().ok()) return 1;
+    std::vector<std::vector<double>> lat(kClients);
+    std::atomic<int> failures{0};
+    const auto t0 = Clock::now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        KgClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          ++failures;
+          return;
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          const auto q0 = Clock::now();
+          auto r = client.Query(kQueries[(c + i) % 3]);
+          lat[c].push_back(Ms(q0, Clock::now()));
+          if (!r.ok()) ++failures;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double total_ms = Ms(t0, Clock::now());
+    std::vector<double> all;
+    for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    qps = all.size() / (total_ms / 1000.0);
+    p50 = Percentile(&all, 0.50);
+    p99 = Percentile(&all, 0.99);
+    std::printf("mixed reads: %d clients x %d reqs -> %.0f qps, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                kClients, kPerClient, qps, p50, p99);
+    shape.Check(failures.load() == 0, "mixed read workload: zero failures");
+    server.Stop();
+  }
+
+  // ---- section 2: inference batching (one model call per window) ----
+  uint64_t unbatched_calls = 0, batched_calls = 0;
+  bool batch_identical = true;
+  {
+    // Unbatched ground truth, one API call per node.
+    std::vector<std::string> expect_class;
+    std::vector<std::vector<std::string>> expect_links;
+    im.ResetCounters();
+    for (const std::string& n : setup.papers)
+      expect_class.push_back(im.GetNodeClass(setup.nc_uri, n).value_or("?"));
+    for (const std::string& n : setup.people)
+      expect_links.push_back(
+          im.GetTopKLinks(setup.lp_bundle_uri, n, 3).value_or({}));
+    unbatched_calls = im.http_calls();
+
+    ServerOptions options;
+    options.num_workers = kClients;
+    options.batcher.window_us = 2000;
+    options.batcher.max_batch = 16;
+    KgServer server(&setup.kg.service(), options);
+    if (!server.Start().ok()) return 1;
+    im.ResetCounters();
+    std::vector<std::thread> threads;
+    std::atomic<bool> ok{true};
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        KgClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) {
+          ok = false;
+          return;
+        }
+        for (size_t i = c; i < setup.papers.size(); i += kClients) {
+          auto r = client.NodeClass(setup.nc_uri, setup.papers[i]);
+          if (!r.ok() || *r != expect_class[i]) ok = false;
+        }
+        for (size_t i = c; i < setup.people.size(); i += kClients) {
+          auto r = client.TopKLinks(setup.lp_bundle_uri, setup.people[i], 3);
+          if (!r.ok() || *r != expect_links[i]) ok = false;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    batched_calls = im.http_calls();
+    batch_identical = ok.load();
+    std::printf("batching: %zu requests -> %llu API calls unbatched, "
+                "%llu batched (%.2fx reduction), %llu coalesced\n",
+                setup.papers.size() + setup.people.size(),
+                static_cast<unsigned long long>(unbatched_calls),
+                static_cast<unsigned long long>(batched_calls),
+                batched_calls > 0
+                    ? static_cast<double>(unbatched_calls) / batched_calls
+                    : 0.0,
+                static_cast<unsigned long long>(
+                    server.batcher().coalesced_requests()));
+    shape.Check(batch_identical,
+                "batched inference responses identical to unbatched calls");
+    shape.Check(batched_calls <= unbatched_calls,
+                "batching never issues more API calls than unbatched");
+    if (hw >= 4) {
+      shape.Check(batched_calls * 3 <= unbatched_calls * 2,
+                  "batching coalesces >= 1.5x under concurrent load");
+    } else {
+      std::printf("coalescing bar skipped: hardware_concurrency=%d < 4\n",
+                  hw);
+      shape.Check(true, "coalescing bar skipped (hardware_concurrency < 4)");
+    }
+    server.Stop();
+  }
+
+  // ---- section 3: embedding-row cache ----
+  uint64_t cache_hits = 0, cache_misses = 0;
+  bool cache_identical = true;
+  {
+    std::vector<std::vector<std::string>> expect;
+    for (const std::string& n : setup.people)
+      expect.push_back(im.GetSimilarEntities(setup.lp_uri, n, 3).value_or({}));
+
+    ServerOptions options;
+    options.num_workers = 1;
+    options.embed_cache_rows = 64;
+    KgServer server(&setup.kg.service(), options);
+    if (!server.Start().ok()) return 1;
+    KgClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t i = 0; i < setup.people.size(); ++i) {
+        auto r = client.SimilarEntities(setup.lp_uri, setup.people[i], 3);
+        if (!r.ok() || *r != expect[i]) cache_identical = false;
+      }
+    }
+    cache_hits = server.embed_cache().hits();
+    cache_misses = server.embed_cache().misses();
+    std::printf("embed cache: 2 passes over %zu nodes -> %llu hits, "
+                "%llu misses\n",
+                setup.people.size(),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses));
+    shape.Check(cache_identical,
+                "cached similarity responses identical to uncached calls");
+    shape.Check(cache_hits >= setup.people.size(),
+                "second pass served from the row cache");
+    server.Stop();
+  }
+
+  // ---- section 4: admission control under overload ----
+  uint64_t overload_rejects = 0;
+  constexpr int kFlood = 10;
+  constexpr int kQueueDepth = 2;
+  {
+    ServerOptions options;
+    options.num_workers = 1;
+    options.queue_depth = kQueueDepth;
+    options.request_deadline_ms = 10000;
+    KgServer server(&setup.kg.service(), options);
+    if (!server.Start().ok()) return 1;
+    // Pin the single worker with a live session...
+    KgClient pinned;
+    if (!pinned.Connect("127.0.0.1", server.port()).ok()) return 1;
+    if (!pinned.Ping().ok()) return 1;
+    // ...then flood: kQueueDepth connections queue, the rest must be
+    // rejected immediately with ResourceExhausted.
+    std::vector<std::unique_ptr<KgClient>> flood;
+    for (int i = 0; i < kFlood; ++i) {
+      flood.push_back(std::make_unique<KgClient>());
+      if (!flood.back()->Connect("127.0.0.1", server.port()).ok()) return 1;
+    }
+    const auto deadline = Clock::now() + std::chrono::seconds(5);
+    while (Clock::now() < deadline) {
+      overload_rejects = server.stats().overload_rejects;
+      if (overload_rejects >= kFlood - kQueueDepth) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::printf("overload: %d conns at 1 busy worker, queue %d -> "
+                "%llu immediate rejects\n",
+                kFlood, kQueueDepth,
+                static_cast<unsigned long long>(overload_rejects));
+    shape.Check(overload_rejects == kFlood - kQueueDepth,
+                "admission control rejects exactly the over-queue surplus");
+    server.Stop();
+  }
+
+  const int failed = shape.Report();
+
+  FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"hardware_concurrency\": %d,\n"
+        "  \"mixed\": {\"clients\": %d, \"requests\": %d, \"qps\": %.1f, "
+        "\"p50_ms\": %.4f, \"p99_ms\": %.4f},\n"
+        "  \"batching\": {\"requests\": %zu, \"unbatched_api_calls\": %llu, "
+        "\"batched_api_calls\": %llu, \"identical\": %s},\n"
+        "  \"embed_cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"identical\": %s},\n"
+        "  \"overload\": {\"flood\": %d, \"queue_depth\": %d, "
+        "\"rejected\": %llu}\n}\n",
+        hw, kClients, kClients * kPerClient, qps, p50, p99,
+        setup.papers.size() + setup.people.size(),
+        static_cast<unsigned long long>(unbatched_calls),
+        static_cast<unsigned long long>(batched_calls),
+        batch_identical ? "true" : "false",
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses),
+        cache_identical ? "true" : "false", kFlood, kQueueDepth,
+        static_cast<unsigned long long>(overload_rejects));
+    std::fclose(json);
+    std::printf("\nwrote BENCH_serving.json\n");
+  }
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+// kgnet_serve: the KGNet network server (docs/SERVING.md).
+//
+// Serves one KgNet instance over TCP on 127.0.0.1, speaking the framed-
+// JSON protocol of src/serving/protocol.h. Connect with the client
+// library, or interactively with `kgnet_shell` and `.connect PORT`.
+//
+// Usage:
+//   kgnet_serve                       # DBLP-mini demo KG, ephemeral port
+//   kgnet_serve --port 7687           # fixed port
+//   kgnet_serve --workers 8 --queue-depth 128
+//   kgnet_serve --yago                # YAGO4-mini demo KG
+//   kgnet_serve --load FILE.nt        # serve an N-Triples file
+//   kgnet_serve --smoke               # start, self-query, exit (CI)
+//
+// Environment (strictly validated, see docs/SERVING.md):
+//   KGNET_SERVE_PORT, KGNET_SERVE_WORKERS, KGNET_SERVE_QUEUE_DEPTH
+// Command-line flags override the environment.
+//
+// The server runs until stdin reaches EOF (or `quit` on a line), so it
+// composes with shells and test drivers without signal games.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/kgnet.h"
+#include "serving/client.h"
+#include "serving/server.h"
+#include "workload/dblp_gen.h"
+#include "workload/yago_gen.h"
+
+namespace {
+
+int Smoke(kgnet::serving::KgServer& server) {
+  kgnet::serving::KgClient client;
+  if (!client.Connect("127.0.0.1", server.port()).ok()) {
+    std::fprintf(stderr, "smoke: connect failed\n");
+    return 1;
+  }
+  if (!client.Ping().ok()) {
+    std::fprintf(stderr, "smoke: ping failed\n");
+    return 1;
+  }
+  auto count = client.Query(
+      "SELECT ?s ?o WHERE { ?s "
+      "<https://dblp.org/rdf/publishedIn> ?o . } LIMIT 5");
+  if (!count.ok()) {
+    std::fprintf(stderr, "smoke: query failed: %s\n",
+                 count.status().ToString().c_str());
+    return 1;
+  }
+  // A malformed request must produce an error response, not a crash.
+  auto bad = client.Call("{\"op\":\"no_such_op\"}");
+  if (!bad.ok()) {
+    std::fprintf(stderr, "smoke: malformed-op round-trip failed\n");
+    return 1;
+  }
+  auto after = client.Ping();  // connection survived the error
+  if (!after.ok()) {
+    std::fprintf(stderr, "smoke: connection died after error response\n");
+    return 1;
+  }
+  std::printf(
+      "smoke ok: ping, %zu-row query (snapshot epoch %llu), error "
+      "response, ping\n",
+      count->result.NumRows(), static_cast<unsigned long long>(count->epoch));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kgnet::serving::ServerOptions options =
+      kgnet::serving::ApplyServerEnv(kgnet::serving::ServerOptions{});
+
+  bool smoke = false;
+  bool yago = false;
+  const char* load_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--yago") == 0) {
+      yago = true;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      options.num_workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
+      options.queue_depth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  kgnet::core::KgNet kg;
+  if (load_path != nullptr) {
+    std::ifstream in(load_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", load_path);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto n = kg.LoadNTriples(buf.str());
+    if (!n.ok()) {
+      std::fprintf(stderr, "%s\n", n.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu triples from %s\n", *n, load_path);
+  } else if (yago) {
+    kgnet::workload::YagoOptions opts;
+    if (!kgnet::workload::GenerateYago(opts, &kg.store()).ok()) return 1;
+  } else {
+    kgnet::workload::DblpOptions opts;
+    opts.num_papers = 500;
+    opts.num_authors = 250;
+    opts.num_venues = 5;
+    opts.num_affiliations = 15;
+    if (!kgnet::workload::GenerateDblp(opts, &kg.store()).ok()) return 1;
+  }
+
+  kgnet::serving::KgServer server(&kg.service(), options);
+  const kgnet::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("kgnet_serve listening on 127.0.0.1:%d (%d workers, queue %d, "
+              "%zu triples)\n",
+              server.port(), server.options().num_workers,
+              server.options().queue_depth, kg.store().size());
+  std::fflush(stdout);
+
+  if (smoke) {
+    const int rc = Smoke(server);
+    server.Stop();
+    return rc;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+  }
+  server.Stop();
+  const kgnet::serving::KgServer::Stats st = server.stats();
+  std::printf("served %llu requests on %llu connections (%llu errors, "
+              "%llu overload rejects)\n",
+              static_cast<unsigned long long>(st.requests_served),
+              static_cast<unsigned long long>(st.connections_accepted),
+              static_cast<unsigned long long>(st.error_responses),
+              static_cast<unsigned long long>(st.overload_rejects));
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include "core/kgnet.h"
 #include "rdf/graph_stats.h"
 #include "rdf/ntriples.h"
+#include "serving/client.h"
 #include "workload/dblp_gen.h"
 #include "workload/yago_gen.h"
 
@@ -40,6 +41,8 @@ void PrintHelp() {
       "  .models          trained models in KGMeta\n"
       "  .explain QUERY   show the SPARQL-ML rewrite without executing\n"
       "  .plan QUERY      show the streaming executor's physical plan\n"
+      "  .connect PORT    route queries to a kgnet_serve on 127.0.0.1\n"
+      "  .disconnect      back to the in-process KG\n"
       "  .quit            exit\n"
       "Anything else is executed as SPARQL / SPARQL-ML. End multi-line\n"
       "queries with a line containing only ';'.\n\n"
@@ -120,6 +123,29 @@ void RunQuery(kgnet::core::KgNet& kg, const std::string& text) {
   }
 }
 
+void RunRemoteQuery(kgnet::serving::KgClient& client,
+                    const std::string& text) {
+  auto resp = client.Query(text);
+  if (!resp.ok()) {
+    std::printf("error: %s\n", resp.status().ToString().c_str());
+    return;
+  }
+  const kgnet::sparql::QueryResult& result = resp->result;
+  if (!result.columns.empty()) {
+    std::printf("%s", result.ToTable().c_str());
+    std::printf("(%zu rows", result.NumRows());
+    if (resp->has_snapshot)
+      std::printf(", snapshot epoch %llu",
+                  static_cast<unsigned long long>(resp->epoch));
+    std::printf(")\n");
+  } else if (result.num_inserted > 0 || result.num_deleted > 0) {
+    std::printf("ok: +%zu / -%zu triples\n", result.num_inserted,
+                result.num_deleted);
+  } else {
+    std::printf("%s\n", result.ask_result ? "yes" : "ok");
+  }
+}
+
 void RunPlan(kgnet::core::KgNet& kg, const std::string& text) {
   auto plan = kg.service().engine().ExplainString(text);
   if (!plan.ok()) {
@@ -187,6 +213,8 @@ int main(int argc, char** argv) {
                 kg.store().size());
   }
 
+  kgnet::serving::KgClient remote;
+
   std::string buffer;
   std::string line;
   std::printf("kgnet> ");
@@ -201,6 +229,26 @@ int main(int argc, char** argv) {
         PrintStats(kg.store());
       } else if (line == ".models") {
         PrintModels(kg);
+      } else if (line.rfind(".connect", 0) == 0) {
+        const int port = line.size() > 8 ? std::atoi(line.c_str() + 9) : 0;
+        if (port <= 0 || port > 65535) {
+          std::printf("usage: .connect PORT (a kgnet_serve port)\n");
+        } else {
+          remote.Close();
+          auto st = remote.Connect("127.0.0.1", port);
+          if (st.ok())
+            std::printf("connected to 127.0.0.1:%d; queries now run "
+                        "remotely (.disconnect to return)\n", port);
+          else
+            std::printf("error: %s\n", st.ToString().c_str());
+        }
+      } else if (line == ".disconnect") {
+        if (remote.connected()) {
+          remote.Close();
+          std::printf("disconnected; queries run in-process again\n");
+        } else {
+          std::printf("not connected\n");
+        }
       } else if (line.rfind(".explain", 0) == 0) {
         std::string q = line.size() > 8 ? line.substr(9) : "";
         if (q.empty()) {
@@ -223,7 +271,12 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == ";") {
-      if (!buffer.empty()) RunQuery(kg, buffer);
+      if (!buffer.empty()) {
+        if (remote.connected())
+          RunRemoteQuery(remote, buffer);
+        else
+          RunQuery(kg, buffer);
+      }
       buffer.clear();
       std::printf("kgnet> ");
       std::fflush(stdout);
@@ -236,7 +289,10 @@ int main(int argc, char** argv) {
     if (buffer.find('{') != std::string::npos &&
         std::count(buffer.begin(), buffer.end(), '{') ==
             std::count(buffer.begin(), buffer.end(), '}')) {
-      RunQuery(kg, buffer);
+      if (remote.connected())
+        RunRemoteQuery(remote, buffer);
+      else
+        RunQuery(kg, buffer);
       buffer.clear();
       std::printf("kgnet> ");
       std::fflush(stdout);

@@ -22,6 +22,7 @@
 #ifndef KGNET_COMMON_THREAD_ANNOTATIONS_H_
 #define KGNET_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -126,6 +127,18 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
     cv_.wait(lk);
     lk.release();
+  }
+
+  /// Like Wait, but gives up after `timeout`. Returns false when the
+  /// wait timed out (the mutex is held again either way). Used by the
+  /// serving layer's time-windowed batcher and bounded queues; the same
+  /// bare-wait-in-a-while-loop rule applies.
+  bool WaitFor(Mutex& mu, std::chrono::microseconds timeout)
+      KGNET_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lk, timeout);
+    lk.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

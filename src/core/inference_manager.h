@@ -6,6 +6,17 @@
 // increments a call counter and can add a configurable per-call latency so
 // the query-optimizer benchmarks reproduce the Figure 11 vs Figure 12
 // trade-off faithfully.
+//
+// The *Batch methods are the serving-path counterparts: one API call
+// answers a whole batch of nodes against the same model (one forward /
+// one score-kernel invocation), and per-node results are guaranteed to
+// be bitwise-identical to a serial loop of the single-node calls. The
+// serving layer's InferBatcher (src/serving/infer_batcher.h) collects
+// concurrent network requests into these calls.
+//
+// Thread safety: all methods may be called concurrently (the serving
+// front end does); the call counters are mutex-guarded and models are
+// fetched as shared_ptr copies from the (locked) ModelStore.
 #ifndef KGNET_CORE_INFERENCE_MANAGER_H_
 #define KGNET_CORE_INFERENCE_MANAGER_H_
 
@@ -15,6 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/model_store.h"
 
 namespace kgnet::core {
@@ -28,6 +40,12 @@ class InferenceManager {
   Result<std::string> GetNodeClass(const std::string& model_uri,
                                    const std::string& node_iri);
 
+  /// Predicted class IRIs for a batch of nodes (one API call, one model
+  /// forward). Element i is the exact value — or the exact error —
+  /// GetNodeClass(model_uri, node_iris[i]) would have produced.
+  Result<std::vector<Result<std::string>>> GetNodeClassBatch(
+      const std::string& model_uri, const std::vector<std::string>& node_iris);
+
   /// Predicted class IRIs for every target node of the model (one API
   /// call returning the whole dictionary — the Figure 12 plan).
   Result<std::map<std::string, std::string>> GetNodeClassDictionary(
@@ -38,18 +56,55 @@ class InferenceManager {
                                                 const std::string& node_iri,
                                                 size_t k);
 
+  /// Top-k links for a batch of source nodes (one API call). For
+  /// bundle-served models the whole batch is scored through one
+  /// GEMM-shaped kernel (|batch| x |candidates| score matrix, computed
+  /// on the shared thread pool with fixed chunking); each row uses the
+  /// identical per-cell scoring as the single-node path, so element i is
+  /// bitwise-identical to GetTopKLinks(model_uri, node_iris[i], k) at
+  /// any thread count.
+  Result<std::vector<Result<std::vector<std::string>>>> GetTopKLinksBatch(
+      const std::string& model_uri, const std::vector<std::string>& node_iris,
+      size_t k);
+
   /// Top-k most similar entities by embedding distance (one API call).
   Result<std::vector<std::string>> GetSimilarEntities(
       const std::string& model_uri, const std::string& node_iri, size_t k);
 
+  /// The embedding row Search would use for `node_iri` — a helper for
+  /// serving-side row caches, NOT an API call (no counter bump). The
+  /// returned vector is bitwise-stable for a given (model, node) until
+  /// the model is replaced.
+  Result<std::vector<float>> GetEmbeddingRow(const std::string& model_uri,
+                                             const std::string& node_iri);
+
+  /// GetSimilarEntities with a caller-supplied query row (one API call):
+  /// the serving layer passes a cached GetEmbeddingRow result here and
+  /// gets bitwise-identical output to the uncached call.
+  Result<std::vector<std::string>> GetSimilarByRow(
+      const std::string& model_uri, const std::string& node_iri,
+      const std::vector<float>& row, size_t k);
+
   /// Number of simulated HTTP calls since the last reset.
-  uint64_t http_calls() const { return http_calls_; }
-  void ResetCounters() { http_calls_ = 0; }
+  uint64_t http_calls() const {
+    common::MutexLock lock(&counters_mu_);
+    return http_calls_;
+  }
+  void ResetCounters() {
+    common::MutexLock lock(&counters_mu_);
+    http_calls_ = 0;
+  }
 
   /// Simulated per-call latency in microseconds added to every call's
   /// accounting (not slept; accumulated in simulated_latency_us()).
-  void set_per_call_latency_us(double us) { per_call_latency_us_ = us; }
-  double simulated_latency_us() const { return simulated_latency_us_; }
+  void set_per_call_latency_us(double us) {
+    common::MutexLock lock(&counters_mu_);
+    per_call_latency_us_ = us;
+  }
+  double simulated_latency_us() const {
+    common::MutexLock lock(&counters_mu_);
+    return simulated_latency_us_;
+  }
 
  private:
   struct ResolvedNode {
@@ -58,15 +113,38 @@ class InferenceManager {
   };
   Result<ResolvedNode> Resolve(const std::string& model_uri,
                                const std::string& node_iri);
+  /// Resolve against an already-fetched model, so a batch touches the
+  /// ModelStore exactly once and every element sees the same model.
+  Result<uint32_t> ResolveNodeIn(const TrainedModel& model,
+                                 const std::string& model_uri,
+                                 const std::string& node_iri);
+  /// GetNodeClass body minus the call accounting.
+  Result<std::string> NodeClassImpl(const std::shared_ptr<TrainedModel>& model,
+                                    const std::string& model_uri,
+                                    const std::string& node_iri);
+  /// GetTopKLinks body minus the call accounting.
+  Result<std::vector<std::string>> TopKLinksImpl(
+      const std::shared_ptr<TrainedModel>& model, const std::string& model_uri,
+      const std::string& node_iri, size_t k);
+  /// GetSimilarByRow minus the call accounting (shared by the counted
+  /// entry points).
+  Result<std::vector<std::string>> SimilarByRowImpl(
+      const std::string& model_uri, const std::string& node_iri,
+      const std::vector<float>& row, size_t k);
+  /// GetEmbeddingRow body (uncounted).
+  Result<std::vector<float>> EmbeddingRowImpl(const std::string& model_uri,
+                                              const std::string& node_iri);
   void CountCall() {
+    common::MutexLock lock(&counters_mu_);
     ++http_calls_;
     simulated_latency_us_ += per_call_latency_us_;
   }
 
   ModelStore* models_;
-  uint64_t http_calls_ = 0;
-  double per_call_latency_us_ = 0.0;
-  double simulated_latency_us_ = 0.0;
+  mutable common::Mutex counters_mu_;
+  uint64_t http_calls_ KGNET_GUARDED_BY(counters_mu_) = 0;
+  double per_call_latency_us_ KGNET_GUARDED_BY(counters_mu_) = 0.0;
+  double simulated_latency_us_ KGNET_GUARDED_BY(counters_mu_) = 0.0;
 };
 
 }  // namespace kgnet::core

@@ -1,6 +1,7 @@
 #include "core/json.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace kgnet::core {
@@ -208,6 +209,103 @@ const JsonValue* JsonValue::FindRelaxed(const std::string& key) const {
 
 Result<JsonValue> ParseJson(std::string_view text) {
   return JsonParser(text).Parse();
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double d, std::string* out) {
+  // Integral values within int64 range print without a decimal point so
+  // counts and sizes look like integers on the wire.
+  if (d >= -9.2e18 && d <= 9.2e18 &&
+      d == static_cast<double>(static_cast<long long>(d))) {
+    *out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void DumpValue(const JsonValue& v, std::string* out) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      AppendNumber(v.AsNumber(), out);
+      break;
+    case JsonValue::Kind::kString:
+      AppendEscaped(v.AsString(), out);
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpValue(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, item] : v.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendEscaped(key, out);
+        out->push_back(':');
+        DumpValue(item, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DumpJson(const JsonValue& value) {
+  std::string out;
+  DumpValue(value, &out);
+  return out;
 }
 
 }  // namespace kgnet::core

@@ -92,6 +92,15 @@ class JsonValue {
 /// Parses `text` into a JsonValue.
 Result<JsonValue> ParseJson(std::string_view text);
 
+/// Serializes `value` as strict, deterministic JSON: object keys are
+/// emitted in std::map order with double quotes, strings are escaped
+/// (\" \\ \n \t \r, \u00XX for other control bytes), and numbers print
+/// as decimal integers when integral (else %.17g, enough digits to
+/// round-trip a double). The serving protocol relies on this
+/// determinism: the same JsonValue always produces the same bytes, so
+/// responses can be compared byte-for-byte in differential tests.
+std::string DumpJson(const JsonValue& value);
+
 }  // namespace kgnet::core
 
 #endif  // KGNET_CORE_JSON_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/embedding_store.h"
 #include "core/kgmeta.h"
 #include "gml/model.h"
@@ -53,15 +54,22 @@ struct TrainedModel {
 };
 
 /// Maps model URIs to trained artifacts.
+///
+/// Thread-safe: the serving front end reads models from session worker
+/// threads while training (serialized by the server) may register new
+/// ones. Get hands out a shared_ptr copy, so a fetched model stays valid
+/// even if it is replaced or removed concurrently.
 class ModelStore {
  public:
   /// Stores `model` under its URI; replaces any previous entry.
   void Put(std::shared_ptr<TrainedModel> model) {
+    common::MutexLock lock(&mu_);
     models_[model->info.uri] = std::move(model);
   }
 
   /// Fetches a model.
   Result<std::shared_ptr<TrainedModel>> Get(const std::string& uri) const {
+    common::MutexLock lock(&mu_);
     auto it = models_.find(uri);
     if (it == models_.end())
       return Status::NotFound("no trained model stored for " + uri);
@@ -70,22 +78,29 @@ class ModelStore {
 
   /// Drops a model; returns NotFound when absent.
   Status Remove(const std::string& uri) {
+    common::MutexLock lock(&mu_);
     return models_.erase(uri) > 0
                ? Status::OK()
                : Status::NotFound("no trained model stored for " + uri);
   }
 
   std::vector<std::string> ListUris() const {
+    common::MutexLock lock(&mu_);
     std::vector<std::string> out;
     out.reserve(models_.size());
     for (const auto& [uri, m] : models_) out.push_back(uri);
     return out;
   }
 
-  size_t size() const { return models_.size(); }
+  size_t size() const {
+    common::MutexLock lock(&mu_);
+    return models_.size();
+  }
 
  private:
-  std::unordered_map<std::string, std::shared_ptr<TrainedModel>> models_;
+  mutable common::Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<TrainedModel>> models_
+      KGNET_GUARDED_BY(mu_);
 };
 
 }  // namespace kgnet::core

@@ -1,0 +1,110 @@
+#include "serving/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace kgnet::serving {
+
+Status KgClient::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+void KgClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status KgClient::SendRaw(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const char* p = static_cast<const char*>(data);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t w = send(fd_, p + done, size - done, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<std::string> KgClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string body;
+  KGNET_RETURN_IF_ERROR(ReadFrame(fd_, kDefaultMaxFrameBytes, timeout_ms_,
+                                  nullptr, &body));
+  return body;
+}
+
+Result<std::string> KgClient::Call(const std::string& body) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  KGNET_RETURN_IF_ERROR(WriteFrame(fd_, body));
+  return ReadResponse();
+}
+
+Result<QueryResponse> KgClient::Query(const std::string& text) {
+  KGNET_ASSIGN_OR_RETURN(std::string body,
+                         Call(BuildQueryRequest(next_id_++, text)));
+  return ParseQueryResponse(body);
+}
+
+Result<std::string> KgClient::NodeClass(const std::string& model,
+                                        const std::string& node) {
+  KGNET_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(BuildInferRequest(next_id_++, "infer_class", model, node, 0)));
+  return ParseValueResponse(body);
+}
+
+Result<std::vector<std::string>> KgClient::TopKLinks(const std::string& model,
+                                                     const std::string& node,
+                                                     size_t k) {
+  KGNET_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(BuildInferRequest(next_id_++, "infer_links", model, node, k)));
+  return ParseValuesResponse(body);
+}
+
+Result<std::vector<std::string>> KgClient::SimilarEntities(
+    const std::string& model, const std::string& node, size_t k) {
+  KGNET_ASSIGN_OR_RETURN(
+      std::string body,
+      Call(BuildInferRequest(next_id_++, "infer_similar", model, node, k)));
+  return ParseValuesResponse(body);
+}
+
+Status KgClient::Ping() {
+  auto body = Call(BuildPingRequest(next_id_++));
+  if (!body.ok()) return body.status();
+  return ParsePongResponse(*body);
+}
+
+}  // namespace kgnet::serving

@@ -1,0 +1,66 @@
+// Blocking client for the KGNet serving protocol (docs/SERVING.md).
+// Used by the shell's .connect mode, bench_serving, and the loopback
+// differential tests. One KgClient wraps one TCP connection; it is NOT
+// thread-safe (requests on a connection are strictly sequential — open
+// one client per concurrent caller).
+#ifndef KGNET_SERVING_CLIENT_H_
+#define KGNET_SERVING_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serving/protocol.h"
+
+namespace kgnet::serving {
+
+class KgClient {
+ public:
+  KgClient() = default;
+  ~KgClient() { Close(); }
+  KgClient(const KgClient&) = delete;
+  KgClient& operator=(const KgClient&) = delete;
+
+  /// Connects to a serving endpoint ("127.0.0.1", port).
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Runs a SPARQL / SPARQL-ML query; the Result carries the decoded
+  /// response, or the server-sent error Status verbatim.
+  Result<QueryResponse> Query(const std::string& text);
+
+  /// Inference ops (served by the batched path).
+  Result<std::string> NodeClass(const std::string& model,
+                                const std::string& node);
+  Result<std::vector<std::string>> TopKLinks(const std::string& model,
+                                             const std::string& node,
+                                             size_t k);
+  Result<std::vector<std::string>> SimilarEntities(const std::string& model,
+                                                   const std::string& node,
+                                                   size_t k);
+  Status Ping();
+
+  /// One framed round-trip: sends `body`, returns the raw response body.
+  /// The building block of the typed calls; the differential harness
+  /// uses it to compare response bytes directly.
+  Result<std::string> Call(const std::string& body);
+
+  /// Writes raw bytes with no framing (hardening tests: truncated
+  /// frames, garbage prefixes, half-closed sockets).
+  Status SendRaw(const void* data, size_t size);
+  /// Reads one framed response (hardening tests).
+  Result<std::string> ReadResponse();
+
+  /// Per-request timeout waiting for the response; default 30s.
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+ private:
+  int fd_ = -1;
+  int timeout_ms_ = 30000;
+  double next_id_ = 1;
+};
+
+}  // namespace kgnet::serving
+
+#endif  // KGNET_SERVING_CLIENT_H_

@@ -1,0 +1,156 @@
+#include "serving/infer_batcher.h"
+
+#include <chrono>
+
+namespace kgnet::serving {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+template <typename T, typename BatchFn>
+Result<T> InferBatcher::RunBatched(int task, const std::string& model,
+                                   size_t k, const std::string& node,
+                                   const BatchFn& batch_fn) {
+  const std::tuple<int, std::string, size_t> key{task, model, k};
+  std::shared_ptr<Group<T>> g;
+  size_t slot = 0;
+  {
+    common::MutexLock lock(&mu_);
+    auto& groups = GroupsFor<T>();
+    auto it = groups.find(key);
+    if (it != groups.end()) {
+      // Follower: join the open window and wait for the leader's batch.
+      g = it->second;
+      g->nodes.push_back(node);
+      slot = g->nodes.size() - 1;
+      if (g->nodes.size() >= options_.max_batch) {
+        groups.erase(it);  // full: close early, wake the leader
+        g->closed = true;
+        g->cv.NotifyAll();
+      }
+      while (!g->done) g->cv.Wait(mu_);
+      if (!g->outer.ok()) return g->outer;
+      return std::move(g->results[slot]);
+    }
+    // Leader: publish a fresh group and hold the window open.
+    g = std::make_shared<Group<T>>();
+    g->nodes.push_back(node);
+    groups[key] = g;
+    const auto deadline =
+        Clock::now() + std::chrono::microseconds(options_.window_us);
+    while (!g->closed && g->nodes.size() < options_.max_batch) {
+      const auto now = Clock::now();
+      if (now >= deadline) break;
+      g->cv.WaitFor(mu_, std::chrono::duration_cast<std::chrono::microseconds>(
+                             deadline - now));
+    }
+    if (!g->closed) {
+      groups.erase(key);
+      g->closed = true;
+    }
+    ++batched_calls_;
+    if (g->nodes.size() > 1) coalesced_requests_ += g->nodes.size();
+  }
+  // The group is unpublished, so nodes is frozen; run the one batched
+  // call outside the lock.
+  auto batch = batch_fn(g->nodes);
+  {
+    common::MutexLock lock(&mu_);
+    if (!batch.ok())
+      g->outer = batch.status();
+    else
+      g->results = std::move(*batch);
+    g->done = true;
+    g->cv.NotifyAll();
+    if (!g->outer.ok()) return g->outer;
+    return std::move(g->results[0]);
+  }
+}
+
+Result<std::string> InferBatcher::NodeClass(const std::string& model,
+                                            const std::string& node) {
+  if (options_.window_us <= 0) return inference_->GetNodeClass(model, node);
+  return RunBatched<std::string>(
+      0, model, 0, node, [&](const std::vector<std::string>& nodes) {
+        return inference_->GetNodeClassBatch(model, nodes);
+      });
+}
+
+Result<std::vector<std::string>> InferBatcher::TopKLinks(
+    const std::string& model, const std::string& node, size_t k) {
+  if (options_.window_us <= 0)
+    return inference_->GetTopKLinks(model, node, k);
+  return RunBatched<std::vector<std::string>>(
+      1, model, k, node, [&](const std::vector<std::string>& nodes) {
+        return inference_->GetTopKLinksBatch(model, nodes, k);
+      });
+}
+
+uint64_t InferBatcher::batched_calls() const {
+  common::MutexLock lock(&mu_);
+  return batched_calls_;
+}
+
+uint64_t InferBatcher::coalesced_requests() const {
+  common::MutexLock lock(&mu_);
+  return coalesced_requests_;
+}
+
+std::optional<std::vector<float>> EmbedRowCache::Get(const std::string& model,
+                                                     const std::string& node) {
+  const std::string key = model + '\n' + node;
+  common::MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->second;
+}
+
+void EmbedRowCache::Put(const std::string& model, const std::string& node,
+                        std::vector<float> row) {
+  if (capacity_ == 0) return;
+  const std::string key = model + '\n' + node;
+  common::MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(row);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(row));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void EmbedRowCache::Clear() {
+  common::MutexLock lock(&mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+uint64_t EmbedRowCache::hits() const {
+  common::MutexLock lock(&mu_);
+  return hits_;
+}
+
+uint64_t EmbedRowCache::misses() const {
+  common::MutexLock lock(&mu_);
+  return misses_;
+}
+
+size_t EmbedRowCache::size() const {
+  common::MutexLock lock(&mu_);
+  return lru_.size();
+}
+
+}  // namespace kgnet::serving

@@ -1,0 +1,146 @@
+// Request batching and caching in front of the InferenceManager.
+//
+// The paper's bottleneck (Section IV-B3) is the number of inference API
+// calls a SPARQL-ML plan issues. The serving front end adds a second
+// source of call pressure: many concurrent client connections asking
+// about the same model. InferBatcher coalesces those: the first caller
+// for a (model, task, k) group becomes the *leader* and holds the batch
+// window open (a few hundred microseconds, or until the batch is full);
+// every concurrent caller for the same group joins as a *follower*. The
+// leader then issues ONE batched InferenceManager call — one model
+// forward / one GEMM-shaped score kernel — and distributes the
+// per-element results. Element results are bitwise-identical to the
+// unbatched single-node calls (tests/test_serving.cc asserts this), so
+// batching is purely a throughput knob.
+//
+// EmbedRowCache is the companion for similarity search: an LRU of hot
+// embedding rows keyed by (model, node). A hit turns GetSimilarEntities
+// (resolve + row fetch + search) into GetSimilarByRow (search only) with
+// byte-identical output; a miss falls back to the uncached call, so the
+// cache can never change a response.
+#ifndef KGNET_SERVING_INFER_BATCHER_H_
+#define KGNET_SERVING_INFER_BATCHER_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "core/inference_manager.h"
+
+namespace kgnet::serving {
+
+struct BatcherOptions {
+  /// How long the leader keeps the window open for followers. 0 disables
+  /// batching (every call goes straight through, still one API call per
+  /// request — the differential baseline).
+  int window_us = 300;
+  /// Window closes early once this many requests joined.
+  size_t max_batch = 32;
+};
+
+/// Coalesces concurrent single-node inference calls into batched
+/// InferenceManager calls. Thread-safe; one instance per server.
+class InferBatcher {
+ public:
+  InferBatcher(core::InferenceManager* inference, BatcherOptions options)
+      : inference_(inference), options_(options) {}
+
+  /// Same value/error as inference->GetNodeClass(model, node).
+  Result<std::string> NodeClass(const std::string& model,
+                                const std::string& node);
+
+  /// Same value/error as inference->GetTopKLinks(model, node, k).
+  Result<std::vector<std::string>> TopKLinks(const std::string& model,
+                                             const std::string& node,
+                                             size_t k);
+
+  /// Batched API calls issued (each replaced >= 1 single calls).
+  uint64_t batched_calls() const;
+  /// Requests that rode along in a batch of size > 1.
+  uint64_t coalesced_requests() const;
+
+ private:
+  /// One in-flight batch window. Plain members: every access happens
+  /// with the batcher's mu_ held (the struct cannot name that mutex in
+  /// annotations), except the leader's nodes snapshot taken after the
+  /// group is unpublished.
+  template <typename T>
+  struct Group {
+    std::vector<std::string> nodes;
+    std::vector<Result<T>> results;
+    Status outer = Status::OK();
+    bool closed = false;  // unpublished from the map; no more joiners
+    bool done = false;    // results / outer are filled
+    common::CondVar cv;
+  };
+
+  /// The open-window map for result type T (one per task family so the
+  /// group's result slots are typed).
+  template <typename T>
+  auto& GroupsFor() KGNET_REQUIRES(mu_) {
+    if constexpr (std::is_same_v<T, std::string>)
+      return class_groups_;
+    else
+      return links_groups_;
+  }
+
+  template <typename T, typename BatchFn>
+  Result<T> RunBatched(int task, const std::string& model, size_t k,
+                       const std::string& node, const BatchFn& batch_fn);
+
+  core::InferenceManager* inference_;
+  const BatcherOptions options_;
+  mutable common::Mutex mu_;
+  std::map<std::tuple<int, std::string, size_t>,
+           std::shared_ptr<Group<std::string>>>
+      class_groups_ KGNET_GUARDED_BY(mu_);
+  std::map<std::tuple<int, std::string, size_t>,
+           std::shared_ptr<Group<std::vector<std::string>>>>
+      links_groups_ KGNET_GUARDED_BY(mu_);
+  uint64_t batched_calls_ KGNET_GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_requests_ KGNET_GUARDED_BY(mu_) = 0;
+};
+
+/// LRU cache of embedding rows keyed by (model URI, node IRI).
+/// Thread-safe. Capacity is in rows; Clear() is called by the server
+/// whenever a request may have changed the model set.
+class EmbedRowCache {
+ public:
+  explicit EmbedRowCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached row and refreshes its recency, or nullopt.
+  std::optional<std::vector<float>> Get(const std::string& model,
+                                        const std::string& node);
+  void Put(const std::string& model, const std::string& node,
+           std::vector<float> row);
+  void Clear();
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  using Entry = std::pair<std::string, std::vector<float>>;  // key, row
+
+  const size_t capacity_;
+  mutable common::Mutex mu_;
+  std::list<Entry> lru_ KGNET_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      KGNET_GUARDED_BY(mu_);
+  uint64_t hits_ KGNET_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ KGNET_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace kgnet::serving
+
+#endif  // KGNET_SERVING_INFER_BATCHER_H_

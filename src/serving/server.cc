@@ -1,0 +1,378 @@
+#include "serving/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "sparql/parser.h"
+
+namespace kgnet::serving {
+
+namespace {
+
+constexpr int kPollSliceMs = 50;
+
+/// Strict digit-only parse (the KGNET_NUM_THREADS contract): optional
+/// surrounding blanks, digits only, bounded range; anything else is 0.
+int ParseBoundedEnv(const char* text, long long max_value) {
+  if (text == nullptr) return 0;
+  const char* p = text;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p < '0' || *p > '9') return 0;  // also rejects "+4", "-2"
+  long long n = 0;
+  while (*p >= '0' && *p <= '9') {
+    n = n * 10 + (*p - '0');
+    if (n > max_value) return 0;
+    ++p;
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0') return 0;  // trailing junk ("8abc", "4.5")
+  return n > 0 ? static_cast<int>(n) : 0;
+}
+
+int EnvOverride(const char* name, int (*parse)(const char*), int fallback,
+                const char* want, std::atomic<bool>* warned) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const int v = parse(env);
+  if (v > 0) return v;
+  // One-time warning: a malformed value silently falling back is a
+  // misconfiguration the operator should hear about.
+  if (!warned->exchange(true))
+    std::fprintf(stderr,
+                 "kgnet: ignoring invalid %s=\"%s\" (want %s); using %d\n",
+                 name, env, want, fallback);
+  return fallback;
+}
+
+std::atomic<bool> g_port_warned{false};
+std::atomic<bool> g_workers_warned{false};
+std::atomic<bool> g_queue_warned{false};
+
+/// Any variable in predicate position, anywhere in the pattern tree?
+bool HasVariablePredicate(const sparql::GraphPattern& pattern) {
+  for (const sparql::PatternTriple& t : pattern.triples)
+    if (t.p.is_var) return true;
+  for (const auto& chain : pattern.unions)
+    for (const sparql::GraphPattern& alt : chain)
+      if (HasVariablePredicate(alt)) return true;
+  for (const sparql::GraphPattern& opt : pattern.optionals)
+    if (HasVariablePredicate(opt)) return true;
+  for (const auto& sub : pattern.subselects)
+    if (sub != nullptr && HasVariablePredicate(sub->where)) return true;
+  return false;
+}
+
+}  // namespace
+
+int KgServer::ParsePortEnv(const char* text) {
+  return ParseBoundedEnv(text, 65535);
+}
+
+int KgServer::ParseWorkersEnv(const char* text) {
+  return ParseBoundedEnv(text, 1024);
+}
+
+int KgServer::ParseQueueDepthEnv(const char* text) {
+  return ParseBoundedEnv(text, 1000000);
+}
+
+ServerOptions ApplyServerEnv(ServerOptions base) {
+  base.port = EnvOverride("KGNET_SERVE_PORT", &KgServer::ParsePortEnv,
+                          base.port, "a port in 1..65535", &g_port_warned);
+  base.num_workers =
+      EnvOverride("KGNET_SERVE_WORKERS", &KgServer::ParseWorkersEnv,
+                  base.num_workers, "a worker count in 1..1024",
+                  &g_workers_warned);
+  base.queue_depth =
+      EnvOverride("KGNET_SERVE_QUEUE_DEPTH", &KgServer::ParseQueueDepthEnv,
+                  base.queue_depth, "a queue depth in 1..1000000",
+                  &g_queue_warned);
+  return base;
+}
+
+bool KgServer::RoutesToService(const sparql::Query& query,
+                               std::string_view text) {
+  if (query.kind != sparql::QueryKind::kSelect &&
+      query.kind != sparql::QueryKind::kAsk)
+    return true;  // updates: single-writer contract
+  if (text.find("TrainGML") != std::string_view::npos) return true;
+  if (text.find("sql:UDFS") != std::string_view::npos) return true;
+  return HasVariablePredicate(query.where);
+}
+
+KgServer::KgServer(core::SparqlMlService* service, ServerOptions options)
+    : service_(service),
+      options_(options),
+      batcher_(&service->inference_manager(), options.batcher),
+      embed_cache_(options.embed_cache_rows) {}
+
+KgServer::~KgServer() { Stop(); }
+
+Status KgServer::Start() {
+  if (listen_fd_ >= 0) return Status::FailedPrecondition("already started");
+  if (options_.num_workers < 1 || options_.queue_depth < 1)
+    return Status::InvalidArgument(
+        "num_workers and queue_depth must be positive");
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, 128) < 0) {
+    const Status st =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    const Status st =
+        Status::Internal(std::string("getsockname: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+  return Status::OK();
+}
+
+void KgServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.NotifyAll();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  {
+    common::MutexLock lock(&queue_mu_);
+    for (const PendingConn& c : queue_) close(c.fd);
+    queue_.clear();
+  }
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void KgServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = poll(&pfd, 1, kPollSliceMs);
+    if (pr <= 0) continue;  // timeout slice or EINTR: re-check stop flag
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      common::MutexLock lock(&stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    bool admitted = false;
+    {
+      common::MutexLock lock(&queue_mu_);
+      if (queue_.size() < static_cast<size_t>(options_.queue_depth)) {
+        queue_.push_back({fd, std::chrono::steady_clock::now()});
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.NotifyOne();
+      continue;
+    }
+    // Admission control: a full queue answers immediately instead of
+    // stalling the client until some worker frees up.
+    WriteFrame(fd, BuildErrorResponse(
+                       0, Status::ResourceExhausted(
+                              "server overloaded: request queue full")));
+    close(fd);
+    common::MutexLock lock(&stats_mu_);
+    ++stats_.overload_rejects;
+  }
+}
+
+void KgServer::WorkerLoop() {
+  for (;;) {
+    PendingConn conn;
+    {
+      common::MutexLock lock(&queue_mu_);
+      while (queue_.empty() && !stop_.load(std::memory_order_relaxed))
+        queue_cv_.Wait(queue_mu_);
+      if (queue_.empty()) return;  // stopping
+      conn = queue_.front();
+      queue_.pop_front();
+    }
+    const auto waited = std::chrono::steady_clock::now() - conn.enqueued;
+    if (options_.request_deadline_ms > 0 &&
+        waited >= std::chrono::milliseconds(options_.request_deadline_ms)) {
+      // The client already waited past its deadline; answering now with
+      // real work would only add tail latency for everyone behind it.
+      WriteFrame(conn.fd,
+                 BuildErrorResponse(
+                     0, Status::ResourceExhausted(
+                            "server overloaded: queue wait exceeded deadline")));
+      close(conn.fd);
+      common::MutexLock lock(&stats_mu_);
+      ++stats_.overload_rejects;
+      continue;
+    }
+    ServeConnection(conn.fd);
+  }
+}
+
+void KgServer::ServeConnection(int fd) {
+  for (;;) {
+    std::string body;
+    const Status rs = ReadFrame(fd, options_.max_frame_bytes,
+                                options_.idle_timeout_ms, &stop_, &body);
+    if (!rs.ok()) {
+      if (rs.code() == StatusCode::kInvalidArgument) {
+        // Over-cap length prefix: tell the client why, then drop the
+        // connection (the stream cannot be re-synchronized).
+        WriteFrame(fd, BuildErrorResponse(0, rs));
+        common::MutexLock lock(&stats_mu_);
+        ++stats_.malformed_frames;
+        ++stats_.error_responses;
+      }
+      break;  // clean close, idle timeout, stop, or socket error
+    }
+    const std::string resp = HandleBody(body);
+    {
+      // Count before the write: once a client has read its response, the
+      // counter must already include it (tests sample stats right after
+      // their last reply arrives).
+      common::MutexLock lock(&stats_mu_);
+      ++stats_.requests_served;
+    }
+    if (!WriteFrame(fd, resp).ok()) break;
+  }
+  close(fd);
+}
+
+std::string KgServer::HandleBody(const std::string& body) {
+  auto req = ParseRequest(body);
+  if (!req.ok()) {
+    BumpError();
+    return BuildErrorResponse(0, req.status());
+  }
+  switch (req->op) {
+    case Request::Op::kPing:
+      return BuildPongResponse(req->id);
+    case Request::Op::kQuery:
+      return HandleQuery(*req);
+    case Request::Op::kInferClass:
+    case Request::Op::kInferLinks:
+    case Request::Op::kInferSimilar:
+      return HandleInfer(*req);
+  }
+  BumpError();
+  return BuildErrorResponse(req->id, Status::Internal("unhandled op"));
+}
+
+std::string KgServer::HandleQuery(const Request& req) {
+  auto parsed = sparql::ParseQuery(req.query);
+  if (!parsed.ok()) {
+    BumpError();
+    return BuildErrorResponse(req.id, parsed.status());
+  }
+  if (RoutesToService(*parsed, req.query)) {
+    Result<sparql::QueryResult> result = Status::Internal("pending");
+    {
+      common::MutexLock lock(&ml_mu_);
+      result = service_->Execute(req.query);
+    }
+    // Training and model deletes change what the inference ops may
+    // serve; drop cached rows rather than risk a stale model's.
+    if (parsed->kind != sparql::QueryKind::kSelect &&
+        parsed->kind != sparql::QueryKind::kAsk)
+      embed_cache_.Clear();
+    if (!result.ok()) {
+      BumpError();
+      return BuildErrorResponse(req.id, result.status());
+    }
+    return BuildQueryResponse(req.id, *result, nullptr);
+  }
+  // Concurrent plain-read path: one MVCC snapshot per request.
+  sparql::ExecInfo info;
+  const rdf::Snapshot snapshot = service_->engine().store()->OpenSnapshot();
+  auto result = service_->engine().Execute(*parsed, snapshot, &info);
+  if (!result.ok()) {
+    BumpError();
+    return BuildErrorResponse(req.id, result.status());
+  }
+  return BuildQueryResponse(req.id, *result, &info);
+}
+
+std::string KgServer::HandleInfer(const Request& req) {
+  core::InferenceManager& im = service_->inference_manager();
+  if (req.op == Request::Op::kInferClass) {
+    auto r = batcher_.NodeClass(req.model, req.node);
+    if (!r.ok()) {
+      BumpError();
+      return BuildErrorResponse(req.id, r.status());
+    }
+    return BuildValueResponse(req.id, *r);
+  }
+  if (req.op == Request::Op::kInferLinks) {
+    auto r = batcher_.TopKLinks(req.model, req.node, req.k);
+    if (!r.ok()) {
+      BumpError();
+      return BuildErrorResponse(req.id, r.status());
+    }
+    return BuildValuesResponse(req.id, *r);
+  }
+  // infer_similar: serve the query row from the LRU when possible. A
+  // miss (or a model without a row for this node) falls back to the
+  // uncached call, which re-derives the row — and re-produces the exact
+  // error — itself, so the cache never changes a response.
+  Result<std::vector<std::string>> r = Status::Internal("pending");
+  std::optional<std::vector<float>> row =
+      options_.embed_cache_rows > 0 ? embed_cache_.Get(req.model, req.node)
+                                    : std::nullopt;
+  if (!row.has_value() && options_.embed_cache_rows > 0) {
+    auto fetched = im.GetEmbeddingRow(req.model, req.node);
+    if (fetched.ok()) {
+      embed_cache_.Put(req.model, req.node, *fetched);
+      row = std::move(*fetched);
+    }
+  }
+  if (row.has_value())
+    r = im.GetSimilarByRow(req.model, req.node, *row, req.k);
+  else
+    r = im.GetSimilarEntities(req.model, req.node, req.k);
+  if (!r.ok()) {
+    BumpError();
+    return BuildErrorResponse(req.id, r.status());
+  }
+  return BuildValuesResponse(req.id, *r);
+}
+
+KgServer::Stats KgServer::stats() const {
+  common::MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+}  // namespace kgnet::serving

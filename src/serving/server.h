@@ -1,0 +1,167 @@
+// kgnet_serve: the network front end of the platform (docs/SERVING.md).
+//
+// A KgServer exposes one SparqlMlService over TCP (loopback by default)
+// speaking the framed-JSON protocol of serving/protocol.h. Threading
+// model:
+//
+//   - one acceptor thread accepts connections and pushes them onto a
+//     bounded queue (admission control: a full queue is answered with an
+//     immediate ResourceExhausted response and a close);
+//   - a fixed pool of session workers each pop a connection and serve
+//     its requests one at a time until the peer closes or idles out. A
+//     connection that waited in the queue longer than the request
+//     deadline is answered with an overload response instead of served.
+//
+// Request execution:
+//
+//   - plain SPARQL reads (SELECT/ASK with no ML constructs) run
+//     CONCURRENTLY: each request opens one MVCC snapshot and executes on
+//     the shared QueryEngine; the response reports the snapshot's
+//     epoch/delta, and snapshot isolation guarantees it never observes a
+//     torn write (tests/test_serving_stress.cc).
+//   - updates, TrainGML and SPARQL-ML queries route to the serialized
+//     service path (SparqlMlService keeps per-query mutable state and
+//     the TripleStore has a single-writer contract), guarded by one
+//     server mutex.
+//   - infer_* requests run concurrently through the InferBatcher /
+//     EmbedRowCache (serving/infer_batcher.h): one batched model call
+//     per window, bitwise-identical answers.
+#ifndef KGNET_SERVING_SERVER_H_
+#define KGNET_SERVING_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/sparqlml.h"
+#include "serving/infer_batcher.h"
+#include "serving/protocol.h"
+
+namespace kgnet::serving {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back with
+  /// port() after Start).
+  int port = 0;
+  /// Session workers = max concurrently served connections.
+  int num_workers = 4;
+  /// Accepted connections waiting for a worker beyond this are rejected
+  /// immediately with ResourceExhausted.
+  int queue_depth = 64;
+  /// Hard cap on request frame bodies.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// A connection with no complete request for this long is dropped, so
+  /// idle or half-closed peers cannot pin a session worker forever.
+  int idle_timeout_ms = 30000;
+  /// Max time a connection may wait in the accept queue before it is
+  /// answered with an overload response instead of being served.
+  int request_deadline_ms = 2000;
+  /// Inference batching window (see BatcherOptions).
+  BatcherOptions batcher;
+  /// Capacity (rows) of the hot embedding-row LRU; 0 disables it.
+  size_t embed_cache_rows = 256;
+};
+
+/// Applies KGNET_SERVE_PORT / KGNET_SERVE_WORKERS /
+/// KGNET_SERVE_QUEUE_DEPTH on top of `base`. Malformed values are
+/// rejected with a once-per-process stderr warning and the base value
+/// kept — same contract as KGNET_NUM_THREADS (common/thread_pool.h).
+ServerOptions ApplyServerEnv(ServerOptions base);
+
+/// The TCP server. Start() spawns the acceptor and workers; Stop() (or
+/// destruction) shuts them down and closes every connection.
+class KgServer {
+ public:
+  /// `service` must outlive the server.
+  KgServer(core::SparqlMlService* service, ServerOptions options);
+  ~KgServer();
+  KgServer(const KgServer&) = delete;
+  KgServer& operator=(const KgServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (resolved when options.port was 0). Valid after a
+  /// successful Start().
+  int port() const { return port_; }
+
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t requests_served = 0;
+    uint64_t error_responses = 0;
+    uint64_t overload_rejects = 0;
+    uint64_t malformed_frames = 0;
+  };
+  Stats stats() const;
+
+  InferBatcher& batcher() { return batcher_; }
+  EmbedRowCache& embed_cache() { return embed_cache_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// True when a query must run on the serialized SPARQL-ML service
+  /// path: updates (single-writer contract), TrainGML, queries with a
+  /// variable in predicate position anywhere in the pattern (potential
+  /// SPARQL-ML), and rewritten queries calling sql:UDFS.* (they touch
+  /// per-service dictionary state). Everything else is a plain read and
+  /// executes concurrently against its own snapshot. Exposed so the
+  /// differential test harness routes exactly like the server.
+  static bool RoutesToService(const sparql::Query& query,
+                              std::string_view text);
+
+  /// Digit-only env parsers (shared warn-once contract; exposed for the
+  /// garbage-value unit tests). Return 0 on absent/invalid input.
+  static int ParsePortEnv(const char* text);        // valid: 1..65535
+  static int ParseWorkersEnv(const char* text);     // valid: 1..1024
+  static int ParseQueueDepthEnv(const char* text);  // valid: 1..1000000
+
+ private:
+  struct PendingConn {
+    int fd = -1;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Executes one request body and returns the response body.
+  std::string HandleBody(const std::string& body);
+  std::string HandleQuery(const Request& req);
+  std::string HandleInfer(const Request& req);
+  void BumpError() {
+    common::MutexLock lock(&stats_mu_);
+    ++stats_.error_responses;
+  }
+
+  core::SparqlMlService* service_;
+  const ServerOptions options_;
+  InferBatcher batcher_;
+  EmbedRowCache embed_cache_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  // Written by Start(), joined by Stop(); workers never touch the
+  // vectors themselves.
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  common::Mutex queue_mu_;
+  common::CondVar queue_cv_;
+  std::deque<PendingConn> queue_ KGNET_GUARDED_BY(queue_mu_);
+
+  /// Serializes the SPARQL-ML / update path (see RoutesToService).
+  common::Mutex ml_mu_;
+
+  mutable common::Mutex stats_mu_;
+  Stats stats_ KGNET_GUARDED_BY(stats_mu_);
+};
+
+}  // namespace kgnet::serving
+
+#endif  // KGNET_SERVING_SERVER_H_

@@ -87,6 +87,7 @@ LAYER_DEPS = {
     "gml": {"gml", "rdf", "tensor", "common"},
     "workload": {"workload", "rdf", "tensor", "common"},
     "core": {"core", "sparql", "gml", "rdf", "tensor", "common"},
+    "serving": {"serving", "core", "sparql", "gml", "rdf", "tensor", "common"},
 }
 
 RULES = {
