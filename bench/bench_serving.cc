@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fault_injection.h"
 #include "core/kgnet.h"
 #include "core/model_io.h"
 #include "serving/client.h"
+#include "serving/protocol.h"
 #include "serving/server.h"
 #include "workload/dblp_gen.h"
 
@@ -312,6 +314,146 @@ int main() {
     server.Stop();
   }
 
+  // ---- section 5: degraded modes (docs/RESILIENCE.md) ----
+  // (a) read latency under a 5% injected socket-fault rate, clients
+  // retrying; (b) fast-fail latency of an open circuit breaker; (c) how
+  // quickly a deadline-cancelled query hands its worker back.
+  constexpr double kSocketFaultRate = 0.05;
+  constexpr int kDegradedOps = 200;
+  constexpr int64_t kCancelDeadlineMs = 50;
+  double degraded_p50 = 0, degraded_p99 = 0;
+  int degraded_failures = 0;
+  double fastfail_p50 = 0, fastfail_p99 = 0;
+  double cancel_elapsed_ms = 0, reclaim_ms = 0;
+  bool cancel_ok = false, reclaim_ok = false;
+  {
+    kgnet::common::ScopedFaultInjection guard;  // restore env config after
+    auto& injector = kgnet::common::FaultInjector::Instance();
+
+    // (a) 5% of server-side reply writes are dropped mid-connection;
+    // armed retries must absorb every one of them.
+    {
+      ServerOptions options;
+      options.num_workers = 2;
+      KgServer server(&setup.kg.service(), options);
+      if (!server.Start().ok()) return 1;
+      injector.ConfigureSite(2026, kSocketFaultRate,
+                             kgnet::common::FaultSite::kSocketWrite);
+      KgClient client;
+      kgnet::serving::RetryOptions retry;
+      retry.max_attempts = 6;
+      retry.initial_backoff_ms = 1;
+      retry.max_backoff_ms = 8;
+      retry.jitter_seed = 2026;
+      client.set_retry_options(retry);
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+      std::vector<double> lat;
+      for (int i = 0; i < kDegradedOps; ++i) {
+        const auto q0 = Clock::now();
+        auto r = client.Query(kQueries[i % 3]);
+        lat.push_back(Ms(q0, Clock::now()));
+        if (!r.ok()) ++degraded_failures;
+      }
+      const uint64_t dropped =
+          injector.fired(kgnet::common::FaultSite::kSocketWrite);
+      injector.Disable();
+      degraded_p50 = Percentile(&lat, 0.50);
+      degraded_p99 = Percentile(&lat, 0.99);
+      std::printf("degraded reads: %d ops at %.0f%% socket-write faults "
+                  "(%llu dropped replies) -> p50 %.3f ms, p99 %.3f ms, "
+                  "%d unrecovered\n",
+                  kDegradedOps, kSocketFaultRate * 100,
+                  static_cast<unsigned long long>(dropped), degraded_p50,
+                  degraded_p99, degraded_failures);
+      shape.Check(dropped > 0, "fault injection exercised the write site");
+      shape.Check(degraded_failures == 0,
+                  "retries recover every injected socket fault");
+      server.Stop();
+    }
+
+    // (b) breaker-open fast-fail: wedge the model site, trip the
+    // breaker, then measure the rejection path (no model call, no queue).
+    {
+      ServerOptions options;
+      options.num_workers = 2;
+      options.breaker.failure_threshold = 3;
+      options.breaker.cooldown_ms = 60000;  // stays open for the section
+      KgServer server(&setup.kg.service(), options);
+      if (!server.Start().ok()) return 1;
+      injector.ConfigureSite(2027, 1.0,
+                             kgnet::common::FaultSite::kModelCall);
+      KgClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) return 1;
+      for (int i = 0; i < 3; ++i)
+        (void)client.NodeClass(setup.nc_uri, setup.papers[0]);
+      const uint64_t model_calls_when_open =
+          injector.invocations(kgnet::common::FaultSite::kModelCall);
+      std::vector<double> lat;
+      for (int i = 0; i < 100; ++i) {
+        const auto q0 = Clock::now();
+        auto r = client.NodeClass(setup.nc_uri, setup.papers[i % 40]);
+        lat.push_back(Ms(q0, Clock::now()));
+        if (r.ok()) degraded_failures += 1000;  // must be rejected
+      }
+      const bool no_model_reached =
+          injector.invocations(kgnet::common::FaultSite::kModelCall) ==
+          model_calls_when_open;
+      injector.Disable();
+      fastfail_p50 = Percentile(&lat, 0.50);
+      fastfail_p99 = Percentile(&lat, 0.99);
+      std::printf("breaker open: 100 fast-fails -> p50 %.3f ms, "
+                  "p99 %.3f ms (%llu served fast-fail total)\n",
+                  fastfail_p50, fastfail_p99,
+                  static_cast<unsigned long long>(
+                      server.breaker().fast_fails()));
+      shape.Check(server.stats().breaker_fast_fails >= 100,
+                  "open breaker rejects every inference request");
+      shape.Check(no_model_reached,
+                  "breaker fast-fails never reach the model site");
+      server.Stop();
+    }
+
+    // (c) worker reclaim: a deadline-cancelled scan must hand its worker
+    // back within 2x the deadline (the paper-level responsiveness bound;
+    // the sanitized test suites re-check a relaxed version).
+    {
+      for (int s = 0; s < 100; ++s)
+        for (int k = 0; k < 10; ++k)
+          setup.kg.store().InsertIris(
+              "bench-dense-" + std::to_string(s), "bench-dense-p",
+              "bench-dense-" + std::to_string((s * 31 + k * 17 + 7) % 100));
+      ServerOptions options;
+      options.num_workers = 1;
+      KgServer server(&setup.kg.service(), options);
+      if (!server.Start().ok()) return 1;
+      KgClient slow;
+      if (!slow.Connect("127.0.0.1", server.port()).ok()) return 1;
+      slow.set_request_deadline_ms(kCancelDeadlineMs);
+      const auto c0 = Clock::now();
+      auto r = slow.Query(
+          "SELECT * WHERE { ?a <bench-dense-p> ?b . ?b <bench-dense-p> ?c . "
+          "?c <bench-dense-p> ?d . ?d <bench-dense-p> ?e . }");
+      cancel_elapsed_ms = Ms(c0, Clock::now());
+      cancel_ok = !r.ok() && r.status().code() ==
+                                 kgnet::StatusCode::kDeadlineExceeded;
+      slow.Close();  // a session worker stays pinned while the conn lives
+      KgClient quick;
+      const auto r0 = Clock::now();
+      reclaim_ok = quick.Connect("127.0.0.1", server.port()).ok() &&
+                   quick.Query(kQueries[0]).ok();
+      reclaim_ms = Ms(r0, Clock::now());
+      std::printf("cancelled query: %lldms deadline answered in %.3f ms; "
+                  "worker reused %.3f ms later\n",
+                  static_cast<long long>(kCancelDeadlineMs),
+                  cancel_elapsed_ms, reclaim_ms);
+      shape.Check(cancel_ok, "deadline-bounded scan returns DeadlineExceeded");
+      shape.Check(cancel_elapsed_ms < 2.0 * kCancelDeadlineMs,
+                  "cancelled query frees its worker within 2x the deadline");
+      shape.Check(reclaim_ok, "freed worker immediately serves new work");
+      server.Stop();
+    }
+  }
+
   const int failed = shape.Report();
 
   FILE* json = std::fopen("BENCH_serving.json", "w");
@@ -326,7 +468,13 @@ int main() {
         "  \"embed_cache\": {\"hits\": %llu, \"misses\": %llu, "
         "\"identical\": %s},\n"
         "  \"overload\": {\"flood\": %d, \"queue_depth\": %d, "
-        "\"rejected\": %llu}\n}\n",
+        "\"rejected\": %llu},\n"
+        "  \"degraded\": {\"socket_fault_rate\": %.2f, \"ops\": %d, "
+        "\"unrecovered\": %d, \"p50_ms\": %.4f, \"p99_ms\": %.4f,\n"
+        "    \"breaker_fastfail_p50_ms\": %.4f, "
+        "\"breaker_fastfail_p99_ms\": %.4f,\n"
+        "    \"cancel_deadline_ms\": %lld, \"cancel_elapsed_ms\": %.4f, "
+        "\"reclaim_ms\": %.4f, \"reclaim_ok\": %s}\n}\n",
         hw, kClients, kClients * kPerClient, qps, p50, p99,
         setup.papers.size() + setup.people.size(),
         static_cast<unsigned long long>(unbatched_calls),
@@ -335,7 +483,11 @@ int main() {
         static_cast<unsigned long long>(cache_hits),
         static_cast<unsigned long long>(cache_misses),
         cache_identical ? "true" : "false", kFlood, kQueueDepth,
-        static_cast<unsigned long long>(overload_rejects));
+        static_cast<unsigned long long>(overload_rejects),
+        kSocketFaultRate, kDegradedOps, degraded_failures, degraded_p50,
+        degraded_p99, fastfail_p50, fastfail_p99,
+        static_cast<long long>(kCancelDeadlineMs), cancel_elapsed_ms,
+        reclaim_ms, reclaim_ok ? "true" : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_serving.json\n");
   }

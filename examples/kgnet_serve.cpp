@@ -12,12 +12,22 @@
 //   kgnet_serve --load FILE.nt        # serve an N-Triples file
 //   kgnet_serve --smoke               # start, self-query, exit (CI)
 //
-// Environment (strictly validated, see docs/SERVING.md):
-//   KGNET_SERVE_PORT, KGNET_SERVE_WORKERS, KGNET_SERVE_QUEUE_DEPTH
+// Environment (strictly validated, see docs/SERVING.md and
+// docs/RESILIENCE.md):
+//   KGNET_SERVE_PORT, KGNET_SERVE_WORKERS, KGNET_SERVE_QUEUE_DEPTH,
+//   KGNET_DRAIN_TIMEOUT_MS
 // Command-line flags override the environment.
 //
 // The server runs until stdin reaches EOF (or `quit` on a line), so it
-// composes with shells and test drivers without signal games.
+// composes with shells and test drivers without signal games. SIGTERM
+// and SIGINT trigger a graceful drain instead (docs/RESILIENCE.md):
+// stop accepting, finish in-flight requests within --drain-timeout-ms,
+// hard-cancel the rest.
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +42,13 @@
 #include "workload/yago_gen.h"
 
 namespace {
+
+/// Last termination signal received; polled by the stdin loop. Handlers
+/// are installed without SA_RESTART so a blocked read returns EINTR and
+/// the loop notices promptly.
+std::atomic<int> g_signal{0};
+
+void OnTerminate(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 
 int Smoke(kgnet::serving::KgServer& server) {
   kgnet::serving::KgClient client;
@@ -89,6 +106,9 @@ int main(int argc, char** argv) {
       options.num_workers = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--queue-depth") == 0 && i + 1 < argc) {
       options.queue_depth = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      options.drain_timeout_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
       load_path = argv[++i];
     } else {
@@ -142,17 +162,68 @@ int main(int argc, char** argv) {
     return rc;
   }
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line == "quit" || line == "exit") break;
+  // Graceful shutdown on SIGTERM / SIGINT: no SA_RESTART, so the stdin
+  // read below is interrupted and the drain starts within one loop turn.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &OnTerminate;
+  sa.sa_flags = 0;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  // Command loop: complete lines from stdin ("quit"/"exit" stop the
+  // server), polled so a termination signal is noticed even while no
+  // input arrives.
+  std::string pending;
+  bool quit = false;
+  while (!quit && g_signal.load(std::memory_order_relaxed) == 0) {
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = poll(&pfd, 1, 200);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    char buf[256];
+    const ssize_t n = read(STDIN_FILENO, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // stdin EOF
+    pending.append(buf, static_cast<size_t>(n));
+    size_t pos;
+    while ((pos = pending.find('\n')) != std::string::npos) {
+      const std::string line = pending.substr(0, pos);
+      pending.erase(0, pos + 1);
+      if (line == "quit" || line == "exit") {
+        quit = true;
+        break;
+      }
+    }
   }
-  server.Stop();
+
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  if (sig != 0) {
+    std::printf("signal %d: draining (timeout %dms)\n", sig,
+                server.options().drain_timeout_ms);
+    std::fflush(stdout);
+    server.Drain();
+  } else {
+    server.Stop();
+  }
   const kgnet::serving::KgServer::Stats st = server.stats();
   std::printf("served %llu requests on %llu connections (%llu errors, "
-              "%llu overload rejects)\n",
+              "%llu overload rejects, %llu drain rejects, %llu cancelled)\n",
               static_cast<unsigned long long>(st.requests_served),
               static_cast<unsigned long long>(st.connections_accepted),
               static_cast<unsigned long long>(st.error_responses),
-              static_cast<unsigned long long>(st.overload_rejects));
+              static_cast<unsigned long long>(st.overload_rejects),
+              static_cast<unsigned long long>(st.drain_rejects),
+              static_cast<unsigned long long>(st.cancelled));
   return 0;
 }

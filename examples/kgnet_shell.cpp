@@ -42,6 +42,7 @@ void PrintHelp() {
       "  .explain QUERY   show the SPARQL-ML rewrite without executing\n"
       "  .plan QUERY      show the streaming executor's physical plan\n"
       "  .connect PORT    route queries to a kgnet_serve on 127.0.0.1\n"
+      "  .health          remote server health (breaker/queue/epoch)\n"
       "  .disconnect      back to the in-process KG\n"
       "  .quit            exit\n"
       "Anything else is executed as SPARQL / SPARQL-ML. End multi-line\n"
@@ -248,6 +249,24 @@ int main(int argc, char** argv) {
           std::printf("disconnected; queries run in-process again\n");
         } else {
           std::printf("not connected\n");
+        }
+      } else if (line == ".health") {
+        if (!remote.connected()) {
+          std::printf("not connected (.connect PORT first)\n");
+        } else {
+          auto h = remote.Health();
+          if (!h.ok()) {
+            std::printf("error: %s\n", h.status().ToString().c_str());
+          } else {
+            std::printf(
+                "breaker=%s retry_after_ms=%lld queue=%zu/%zu epoch=%llu "
+                "draining=%s served=%llu\n",
+                h->breaker.c_str(), static_cast<long long>(h->retry_after_ms),
+                h->queue_depth, h->queue_capacity,
+                static_cast<unsigned long long>(h->epoch),
+                h->draining ? "true" : "false",
+                static_cast<unsigned long long>(h->requests_served));
+          }
         }
       } else if (line.rfind(".explain", 0) == 0) {
         std::string q = line.size() > 8 ? line.substr(9) : "";

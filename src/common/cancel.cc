@@ -1,0 +1,66 @@
+#include "common/cancel.h"
+
+namespace kgnet::common {
+
+namespace {
+
+/// Poll strides for the derived trip conditions: a steady_clock read
+/// costs ~20ns and the abandon probe is a syscall, so neither may run
+/// per row. At per-row poll rates even the probe stride re-checks every
+/// few tens of microseconds of scan work.
+constexpr uint64_t kDeadlineStride = 64;
+constexpr uint64_t kProbeStride = 1024;
+
+/// First reason wins; concurrent Cancel() calls race benignly.
+void LatchReason(detail::CancelState* state, CancelReason reason) {
+  int expected = static_cast<int>(CancelReason::kNone);
+  state->reason.compare_exchange_strong(expected, static_cast<int>(reason),
+                                        std::memory_order_relaxed);
+}
+
+Status StatusForReason(int reason) {
+  switch (static_cast<CancelReason>(reason)) {
+    case CancelReason::kNone:
+      return Status::OK();
+    case CancelReason::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case CancelReason::kExplicit:
+      return Status::Cancelled("query cancelled");
+    case CancelReason::kAbandoned:
+      return Status::Cancelled("client disconnected");
+    case CancelReason::kDrain:
+      return Status::Cancelled("server draining: request hard-cancelled");
+  }
+  return Status::Cancelled("query cancelled");
+}
+
+}  // namespace
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::OK();
+  detail::CancelState* s = state_.get();
+  const uint64_t n = s->polls.fetch_add(1, std::memory_order_relaxed);
+  int reason = s->reason.load(std::memory_order_relaxed);
+  if (reason == static_cast<int>(CancelReason::kNone)) {
+    // Derived conditions, evaluated on their strides. n == 0 lands on
+    // the deadline stride so an already-expired deadline trips the very
+    // first poll.
+    if (s->has_deadline && n % kDeadlineStride == 0 &&
+        std::chrono::steady_clock::now() >= s->deadline) {
+      LatchReason(s, CancelReason::kDeadline);
+      reason = s->reason.load(std::memory_order_relaxed);
+    } else if (s->abandon_probe && n % kProbeStride == kProbeStride - 1 &&
+               s->abandon_probe()) {
+      LatchReason(s, CancelReason::kAbandoned);
+      reason = s->reason.load(std::memory_order_relaxed);
+    }
+  }
+  return StatusForReason(reason);
+}
+
+void CancelSource::Cancel(CancelReason reason) {
+  if (reason == CancelReason::kNone) return;
+  LatchReason(state_.get(), reason);
+}
+
+}  // namespace kgnet::common

@@ -24,6 +24,9 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "NotFound"..).
@@ -71,6 +74,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,117 @@
+#include "serving/circuit_breaker.h"
+
+#include <algorithm>
+#include <string>
+
+namespace kgnet::serving {
+
+const char* BreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+Status CircuitBreaker::Admit() {
+  common::MutexLock lock(&mu_);
+  switch (state_) {
+    case State::kClosed:
+      return Status::OK();
+    case State::kOpen: {
+      const auto now = std::chrono::steady_clock::now();
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                opened_at_)
+              .count();
+      if (elapsed >= options_.cooldown_ms) {
+        state_ = State::kHalfOpen;
+        probe_inflight_ = true;
+        return Status::OK();
+      }
+      ++fast_fails_;
+      return Status::Unavailable(
+          "inference unavailable (breaker open), retry after " +
+          std::to_string(options_.cooldown_ms - elapsed) + "ms");
+    }
+    case State::kHalfOpen:
+      if (!probe_inflight_) {
+        probe_inflight_ = true;
+        return Status::OK();
+      }
+      ++fast_fails_;
+      return Status::Unavailable(
+          "inference unavailable (breaker half-open, probe in flight), "
+          "retry after " +
+          std::to_string(options_.cooldown_ms) + "ms");
+  }
+  return Status::OK();
+}
+
+void CircuitBreaker::Record(const Status& status) {
+  common::MutexLock lock(&mu_);
+  const bool failure = IsInfraFailure(status);
+  switch (state_) {
+    case State::kClosed:
+      if (!failure) {
+        consecutive_failures_ = 0;
+        return;
+      }
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ = std::chrono::steady_clock::now();
+        ++opens_;
+      }
+      return;
+    case State::kHalfOpen:
+      probe_inflight_ = false;
+      if (failure) {
+        state_ = State::kOpen;
+        opened_at_ = std::chrono::steady_clock::now();
+        ++opens_;
+      } else {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      return;
+    case State::kOpen:
+      // A straggler admitted before the breaker opened; its outcome says
+      // nothing the open state doesn't already know.
+      return;
+  }
+}
+
+void CircuitBreaker::Abort() {
+  common::MutexLock lock(&mu_);
+  if (state_ == State::kHalfOpen) probe_inflight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  common::MutexLock lock(&mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  common::MutexLock lock(&mu_);
+  return opens_;
+}
+
+uint64_t CircuitBreaker::fast_fails() const {
+  common::MutexLock lock(&mu_);
+  return fast_fails_;
+}
+
+int64_t CircuitBreaker::retry_after_ms() const {
+  common::MutexLock lock(&mu_);
+  if (state_ != State::kOpen) return 0;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - opened_at_)
+                           .count();
+  return std::max<int64_t>(0, options_.cooldown_ms - elapsed);
+}
+
+}  // namespace kgnet::serving

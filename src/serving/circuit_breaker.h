@@ -1,0 +1,86 @@
+// Circuit breaker for the SPARQL-ML inference path (docs/RESILIENCE.md).
+//
+// The serving layer wraps every InferBatcher / InferenceManager call in
+// Admit()/Record(). After `failure_threshold` consecutive infrastructure
+// failures the breaker opens: SPARQL-ML requests fail fast with
+// Unavailable (carrying a retry-after hint) instead of queueing behind a
+// wedged model, while plain reads — which never touch the breaker —
+// keep serving byte-identical results. After `cooldown_ms` the breaker
+// half-opens and lets exactly one probe request through: a success
+// closes it, a failure re-opens it and restarts the cooldown.
+//
+// Only infrastructure failures (Internal, Unavailable) trip the breaker;
+// a client asking for a nonexistent model (NotFound/InvalidArgument) is
+// the request's fault, not the model runtime's.
+#ifndef KGNET_SERVING_CIRCUIT_BREAKER_H_
+#define KGNET_SERVING_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace kgnet::serving {
+
+struct BreakerOptions {
+  /// Consecutive infrastructure failures that open the breaker.
+  int failure_threshold = 5;
+  /// Open-state dwell time before the next half-open probe.
+  int cooldown_ms = 1000;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const BreakerOptions& options = {})
+      : options_(options) {}
+
+  /// Gate at the top of a protected call. OK admits the call (and, past
+  /// the cooldown of an open breaker, marks it as the half-open probe);
+  /// otherwise a fast Unavailable with a retry-after hint. Every
+  /// admitted call must be paired with exactly one Record().
+  Status Admit();
+
+  /// Reports the outcome of an admitted call.
+  void Record(const Status& status);
+
+  /// Releases an admitted call that never reached the model (e.g. its
+  /// deadline expired first) without a verdict: a half-open probe slot
+  /// is freed for the next request, and no state changes otherwise.
+  void Abort();
+
+  State state() const;
+  /// Closed -> Open transitions since construction.
+  uint64_t opens() const;
+  /// Requests rejected without reaching the model.
+  uint64_t fast_fails() const;
+  /// Milliseconds until an open breaker probes again (0 otherwise);
+  /// the `.health` verb reports this.
+  int64_t retry_after_ms() const;
+
+ private:
+  static bool IsInfraFailure(const Status& status) {
+    return status.code() == StatusCode::kInternal ||
+           status.code() == StatusCode::kUnavailable;
+  }
+
+  const BreakerOptions options_;
+  mutable common::Mutex mu_;
+  State state_ KGNET_GUARDED_BY(mu_) = State::kClosed;
+  int consecutive_failures_ KGNET_GUARDED_BY(mu_) = 0;
+  /// An admitted half-open probe is in flight; concurrent requests keep
+  /// fast-failing until its Record() arrives.
+  bool probe_inflight_ KGNET_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point opened_at_ KGNET_GUARDED_BY(mu_);
+  uint64_t opens_ KGNET_GUARDED_BY(mu_) = 0;
+  uint64_t fast_fails_ KGNET_GUARDED_BY(mu_) = 0;
+};
+
+/// Stable state name for `.health` and logs.
+const char* BreakerStateName(CircuitBreaker::State state);
+
+}  // namespace kgnet::serving
+
+#endif  // KGNET_SERVING_CIRCUIT_BREAKER_H_

@@ -6,6 +6,7 @@
 #ifndef KGNET_SERVING_CLIENT_H_
 #define KGNET_SERVING_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,37 @@
 #include "serving/protocol.h"
 
 namespace kgnet::serving {
+
+/// Client-side retry policy (docs/RESILIENCE.md). Disabled by default
+/// (max_attempts = 1); KGNET_RETRY_MAX or set_retry_options() arm it.
+struct RetryOptions {
+  /// Total tries including the first; 1 = no retries.
+  int max_attempts = 1;
+  /// Backoff before attempt n (1-based retry index) starts at
+  /// initial_backoff_ms and doubles, capped at max_backoff_ms, with
+  /// seeded jitter on top (RetryBackoffMs is the pure schedule).
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 500;
+  /// Budget across all attempts, sleeps included; exceeded -> give up
+  /// with the last attempt's status.
+  int total_deadline_ms = 10000;
+  /// Seeds the jitter (and the auto-generated request ids), so a chaos
+  /// run's retry schedule replays exactly.
+  uint64_t jitter_seed = 1;
+};
+
+/// The per-class retry policy: only transport faults (Unavailable —
+/// connect refused, frame truncation, peer reset) and server pushback
+/// (ResourceExhausted — admission queue full, overload) are safe and
+/// useful to retry. Parse errors, invalid arguments, and genuine
+/// execution failures are deterministic: retrying replays the failure.
+bool RetryableStatus(const Status& status);
+
+/// Backoff before retry `attempt` (1 = first retry): exponential from
+/// initial_backoff_ms, capped, plus deterministic jitter in [0, base/2]
+/// derived from (jitter_seed, attempt). Pure function, exposed so tests
+/// can pin the schedule.
+int RetryBackoffMs(const RetryOptions& options, int attempt);
 
 class KgClient {
  public:
@@ -27,7 +59,11 @@ class KgClient {
   bool connected() const { return fd_ >= 0; }
 
   /// Runs a SPARQL / SPARQL-ML query; the Result carries the decoded
-  /// response, or the server-sent error Status verbatim.
+  /// response, or the server-sent error Status verbatim. When a request
+  /// deadline is set it rides along on the wire; when retries are armed
+  /// the request carries an auto-generated "rid" so a retried update is
+  /// applied at most once (the request bytes — id and rid included —
+  /// are identical across attempts).
   Result<QueryResponse> Query(const std::string& text);
 
   /// Inference ops (served by the batched path).
@@ -41,10 +77,20 @@ class KgClient {
                                                    size_t k);
   Status Ping();
 
+  /// Server degradation state (`.health` verb): breaker, queue, epoch.
+  Result<HealthInfo> Health();
+
   /// One framed round-trip: sends `body`, returns the raw response body.
   /// The building block of the typed calls; the differential harness
-  /// uses it to compare response bytes directly.
+  /// uses it to compare response bytes directly. Never retries.
   Result<std::string> Call(const std::string& body);
+
+  /// Call() under the retry policy: on a retryable failure (see
+  /// RetryableStatus) the connection is torn down, the backoff slept,
+  /// and the exact same bytes re-sent over a fresh connection — up to
+  /// max_attempts tries within total_deadline_ms. All typed calls route
+  /// through here (with the default options it is exactly one Call()).
+  Result<std::string> CallRetrying(const std::string& body);
 
   /// Writes raw bytes with no framing (hardening tests: truncated
   /// frames, garbage prefixes, half-closed sockets).
@@ -55,10 +101,27 @@ class KgClient {
   /// Per-request timeout waiting for the response; default 30s.
   void set_timeout_ms(int ms) { timeout_ms_ = ms; }
 
+  /// Arms the retry policy for subsequent typed calls.
+  void set_retry_options(const RetryOptions& options) { retry_ = options; }
+  const RetryOptions& retry_options() const { return retry_; }
+
+  /// Folds KGNET_RETRY_MAX into the current options (strict digits,
+  /// 1..100; anything else warns once on stderr and leaves the policy
+  /// unchanged).
+  void ApplyRetryEnv();
+
+  /// Attaches "deadline_ms" to subsequent queries (-1 detaches).
+  void set_request_deadline_ms(int64_t ms) { request_deadline_ms_ = ms; }
+
  private:
   int fd_ = -1;
   int timeout_ms_ = 30000;
   double next_id_ = 1;
+  RetryOptions retry_;
+  int64_t request_deadline_ms_ = -1;
+  // Reconnect target for retries, recorded by Connect().
+  std::string host_;
+  int port_ = -1;
 };
 
 }  // namespace kgnet::serving

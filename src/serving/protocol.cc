@@ -32,7 +32,7 @@ Status ReadExact(int fd, size_t n, int idle_timeout_ms,
       return Status::OutOfRange("server stopping");
     if (pr < 0) {
       if (errno == EINTR) continue;
-      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+      return Status::Unavailable(std::string("poll: ") + std::strerror(errno));
     }
     if (pr == 0) {
       waited_ms += kPollSliceMs;
@@ -43,11 +43,11 @@ Status ReadExact(int fd, size_t n, int idle_timeout_ms,
     const ssize_t r = recv(fd, out + done, n - done, 0);
     if (r < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+      return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
     }
     if (r == 0) {
       if (done == 0 && !*got_any) return Status::NotFound("peer closed");
-      return Status::Internal("connection closed mid-frame");
+      return Status::Unavailable("connection closed mid-frame");
     }
     *got_any = true;
     done += static_cast<size_t>(r);
@@ -100,7 +100,7 @@ Status WriteFrame(int fd, std::string_view body) {
         send(fd, frame.data() + done, frame.size() - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Status::Internal(std::string("send: ") + std::strerror(errno));
+      return Status::Unavailable(std::string("send: ") + std::strerror(errno));
     }
     done += static_cast<size_t>(w);
   }
@@ -111,11 +111,19 @@ Status WriteFrame(int fd, std::string_view body) {
 // Requests
 // ---------------------------------------------------------------------------
 
-std::string BuildQueryRequest(double id, const std::string& query) {
+std::string BuildQueryRequest(double id, const std::string& query,
+                              int64_t deadline_ms, const std::string& rid) {
   core::JsonValue req = core::JsonValue::Object();
   req.Set("op", core::JsonValue(std::string("query")));
   req.Set("id", core::JsonValue(id));
   req.Set("query", core::JsonValue(query));
+  // Both keys appear only when set: a request without resilience fields
+  // serializes to the exact pre-resilience bytes (the loopback
+  // differential tests compare responses byte-for-byte, and requests
+  // feed the at-most-once cache keyed by rid).
+  if (deadline_ms >= 0)
+    req.Set("deadline_ms", core::JsonValue(static_cast<double>(deadline_ms)));
+  if (!rid.empty()) req.Set("rid", core::JsonValue(rid));
   return core::DumpJson(req);
 }
 
@@ -134,6 +142,13 @@ std::string BuildInferRequest(double id, const char* op,
 std::string BuildPingRequest(double id) {
   core::JsonValue req = core::JsonValue::Object();
   req.Set("op", core::JsonValue(std::string("ping")));
+  req.Set("id", core::JsonValue(id));
+  return core::DumpJson(req);
+}
+
+std::string BuildHealthRequest(double id) {
+  core::JsonValue req = core::JsonValue::Object();
+  req.Set("op", core::JsonValue(std::string("health")));
   req.Set("id", core::JsonValue(id));
   return core::DumpJson(req);
 }
@@ -171,9 +186,29 @@ Result<Request> ParseRequest(const std::string& body) {
       return Status::InvalidArgument("request field \"id\" must be a number");
     req.id = id->AsNumber();
   }
+  const core::JsonValue* deadline = obj.Find("deadline_ms");
+  if (deadline != nullptr) {
+    // 0 is legal (already-expired: fails fast with DeadlineExceeded);
+    // cap at 24h so the value survives the double round-trip exactly.
+    if (!deadline->is_number() || deadline->AsNumber() < 0 ||
+        deadline->AsNumber() > 86400000)
+      return Status::InvalidArgument(
+          "request field \"deadline_ms\" must be a number in [0, 86400000]");
+    req.deadline_ms = static_cast<int64_t>(deadline->AsNumber());
+  }
+  const core::JsonValue* rid = obj.Find("rid");
+  if (rid != nullptr) {
+    if (!rid->is_string())
+      return Status::InvalidArgument("request field \"rid\" must be a string");
+    req.rid = rid->AsString();
+  }
   KGNET_ASSIGN_OR_RETURN(std::string op, RequireString(obj, "op"));
   if (op == "ping") {
     req.op = Request::Op::kPing;
+    return req;
+  }
+  if (op == "health") {
+    req.op = Request::Op::kHealth;
     return req;
   }
   if (op == "query") {
@@ -315,6 +350,25 @@ std::string BuildPongResponse(double id) {
   return core::DumpJson(resp);
 }
 
+std::string BuildHealthResponse(double id, const HealthInfo& info) {
+  core::JsonValue resp = core::JsonValue::Object();
+  resp.Set("ok", core::JsonValue(true));
+  resp.Set("id", core::JsonValue(id));
+  resp.Set("breaker", core::JsonValue(info.breaker));
+  resp.Set("retry_after_ms",
+           core::JsonValue(static_cast<double>(info.retry_after_ms)));
+  resp.Set("queue_depth",
+           core::JsonValue(static_cast<double>(info.queue_depth)));
+  resp.Set("queue_capacity",
+           core::JsonValue(static_cast<double>(info.queue_capacity)));
+  resp.Set("epoch", core::JsonValue(static_cast<double>(info.epoch)));
+  resp.Set("draining", core::JsonValue(info.draining));
+  resp.Set("served",
+           core::JsonValue(static_cast<double>(info.requests_served)));
+  return core::DumpJson(resp);
+}
+
+
 StatusCode StatusCodeFromString(const std::string& name) {
   static const struct {
     const char* name;
@@ -330,6 +384,9 @@ StatusCode StatusCodeFromString(const std::string& name) {
       {"Unimplemented", StatusCode::kUnimplemented},
       {"ParseError", StatusCode::kParseError},
       {"Internal", StatusCode::kInternal},
+      {"Cancelled", StatusCode::kCancelled},
+      {"DeadlineExceeded", StatusCode::kDeadlineExceeded},
+      {"Unavailable", StatusCode::kUnavailable},
   };
   for (const auto& entry : kTable)
     if (name == entry.name) return entry.code;
@@ -431,6 +488,26 @@ Result<std::vector<std::string>> ParseValuesResponse(const std::string& body) {
 Status ParsePongResponse(const std::string& body) {
   auto env = ParseEnvelope(body);
   return env.ok() ? Status::OK() : env.status();
+}
+
+Result<HealthInfo> ParseHealthResponse(const std::string& body) {
+  KGNET_ASSIGN_OR_RETURN(core::JsonValue obj, ParseEnvelope(body));
+  HealthInfo info;
+  const core::JsonValue* breaker = obj.Find("breaker");
+  if (breaker == nullptr || !breaker->is_string())
+    return Status::ParseError("health response missing \"breaker\"");
+  info.breaker = breaker->AsString();
+  info.retry_after_ms =
+      static_cast<int64_t>(obj.GetNumber("retry_after_ms", 0));
+  info.queue_depth = static_cast<size_t>(obj.GetNumber("queue_depth", 0));
+  info.queue_capacity =
+      static_cast<size_t>(obj.GetNumber("queue_capacity", 0));
+  info.epoch = static_cast<uint64_t>(obj.GetNumber("epoch", 0));
+  const core::JsonValue* draining = obj.Find("draining");
+  if (draining != nullptr && draining->kind() == core::JsonValue::Kind::kBool)
+    info.draining = draining->AsBool();
+  info.requests_served = static_cast<uint64_t>(obj.GetNumber("served", 0));
+  return info;
 }
 
 }  // namespace kgnet::serving

@@ -14,6 +14,15 @@
 //   {"op":"infer_links","id":9,"model":u,"node":n,"k":3}
 //   {"op":"infer_similar","id":10,"model":u,"node":n,"k":3}
 //   {"op":"ping","id":11}
+//   {"op":"health","id":12}                           breaker/queue/epoch
+//
+// Any request may carry two optional resilience fields
+// (docs/RESILIENCE.md): "deadline_ms" (number, 0..86400000) bounds the
+// request's total server-side time — queue wait included — after which
+// it fails with DeadlineExceeded; "rid" (string, at-most-once request
+// id) lets the server deduplicate a retried mutating request instead of
+// applying it twice. Both keys are omitted entirely when unset, so
+// requests without them serialize to the exact pre-resilience bytes.
 //
 // Responses echo "id" and carry "ok":
 //
@@ -61,7 +70,8 @@ std::string EncodeFrame(std::string_view body);
 ///   NotFound           clean EOF before any byte of a frame (peer done)
 ///   OutOfRange         idle timeout expired, or stop flag set
 ///   InvalidArgument    length prefix exceeds `max_frame_bytes`
-///   Internal           socket error / EOF mid-frame
+///   Unavailable        socket error / EOF mid-frame (transport fault —
+///                      the retryable class, see docs/RESILIENCE.md)
 Status ReadFrame(int fd, size_t max_frame_bytes, int idle_timeout_ms,
                  const std::atomic<bool>* stop, std::string* body);
 
@@ -76,20 +86,36 @@ Status WriteFrame(int fd, std::string_view body);
 /// or wrong-typed fields all fail with InvalidArgument — the server
 /// answers with an error response and keeps the connection alive.
 struct Request {
-  enum class Op { kQuery, kInferClass, kInferLinks, kInferSimilar, kPing };
+  enum class Op {
+    kQuery,
+    kInferClass,
+    kInferLinks,
+    kInferSimilar,
+    kPing,
+    kHealth
+  };
   Op op = Op::kPing;
   double id = 0;        // echoed back verbatim
   std::string query;    // kQuery
   std::string model;    // kInfer*
   std::string node;     // kInfer*
   size_t k = 1;         // kInferLinks / kInferSimilar
+  /// Total server-side budget in ms (queue wait included); -1 = none.
+  int64_t deadline_ms = -1;
+  /// At-most-once request id; empty = no deduplication.
+  std::string rid;
 };
 
-std::string BuildQueryRequest(double id, const std::string& query);
+/// `deadline_ms` < 0 and an empty `rid` omit their keys, preserving the
+/// pre-resilience request bytes.
+std::string BuildQueryRequest(double id, const std::string& query,
+                              int64_t deadline_ms = -1,
+                              const std::string& rid = std::string());
 std::string BuildInferRequest(double id, const char* op,
                               const std::string& model,
                               const std::string& node, size_t k);
 std::string BuildPingRequest(double id);
+std::string BuildHealthRequest(double id);
 
 Result<Request> ParseRequest(const std::string& body);
 
@@ -111,6 +137,20 @@ std::string BuildValueResponse(double id, const std::string& value);
 std::string BuildValuesResponse(double id,
                                 const std::vector<std::string>& values);
 std::string BuildPongResponse(double id);
+
+/// Payload of the `.health` verb: degradation-relevant server state.
+struct HealthInfo {
+  std::string breaker;        // "closed" / "open" / "half_open"
+  int64_t retry_after_ms = 0;  // until an open breaker probes again
+  size_t queue_depth = 0;      // admission queue occupancy
+  size_t queue_capacity = 0;
+  uint64_t epoch = 0;  // current storage epoch
+  bool draining = false;
+  uint64_t requests_served = 0;
+};
+
+std::string BuildHealthResponse(double id, const HealthInfo& info);
+Result<HealthInfo> ParseHealthResponse(const std::string& body);
 
 /// A decoded query response (client side).
 struct QueryResponse {

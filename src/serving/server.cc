@@ -12,6 +12,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "sparql/parser.h"
 
 namespace kgnet::serving {
@@ -19,6 +20,14 @@ namespace kgnet::serving {
 namespace {
 
 constexpr int kPollSliceMs = 50;
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Fires the deterministic fault injector at a server-side site and
+/// keeps the per-server count (the injector itself is process-global).
+bool InjectFault(common::FaultSite site) {
+  return common::FaultInjector::Instance().ShouldFail(site);
+}
 
 /// Strict digit-only parse (the KGNET_NUM_THREADS contract): optional
 /// surrounding blanks, digits only, bounded range; anything else is 0.
@@ -56,6 +65,21 @@ int EnvOverride(const char* name, int (*parse)(const char*), int fallback,
 std::atomic<bool> g_port_warned{false};
 std::atomic<bool> g_workers_warned{false};
 std::atomic<bool> g_queue_warned{false};
+std::atomic<bool> g_drain_warned{false};
+
+/// True when the peer behind `fd` is definitively gone: a clean EOF or a
+/// hard reset visible to a non-blocking MSG_PEEK. Pending request bytes
+/// (r > 0) and transient conditions (EAGAIN, EINTR) mean "still there".
+bool PeerGone(int fd) {
+  char byte;
+  const ssize_t r = recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) return true;  // orderly shutdown from the client
+  if (r < 0 &&
+      (errno == ECONNRESET || errno == EPIPE || errno == ENOTCONN ||
+       errno == EBADF))
+    return true;
+  return false;
+}
 
 /// Any variable in predicate position, anywhere in the pattern tree?
 bool HasVariablePredicate(const sparql::GraphPattern& pattern) {
@@ -73,6 +97,40 @@ bool HasVariablePredicate(const sparql::GraphPattern& pattern) {
 
 }  // namespace
 
+/// Registers one in-flight request (and, when a plain-read query carries
+/// a CancelSource, that source) with the server for the scope of its
+/// handling, so Drain() can wait for it and hard-cancel it on timeout.
+class ScopedActiveSource {
+ public:
+  ScopedActiveSource(KgServer* server, common::CancelSource* source)
+      : server_(server), source_(source) {
+    common::MutexLock lock(&server_->active_mu_);
+    ++server_->inflight_;
+    if (source_ != nullptr) server_->active_sources_.push_back(source_);
+  }
+  ~ScopedActiveSource() {
+    common::MutexLock lock(&server_->active_mu_);
+    --server_->inflight_;
+    if (source_ != nullptr) {
+      auto& v = server_->active_sources_;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == source_) {
+          v[i] = v.back();
+          v.pop_back();
+          break;
+        }
+      }
+    }
+    if (server_->inflight_ == 0) server_->active_cv_.NotifyAll();
+  }
+  ScopedActiveSource(const ScopedActiveSource&) = delete;
+  ScopedActiveSource& operator=(const ScopedActiveSource&) = delete;
+
+ private:
+  KgServer* server_;
+  common::CancelSource* source_;
+};
+
 int KgServer::ParsePortEnv(const char* text) {
   return ParseBoundedEnv(text, 65535);
 }
@@ -83,6 +141,10 @@ int KgServer::ParseWorkersEnv(const char* text) {
 
 int KgServer::ParseQueueDepthEnv(const char* text) {
   return ParseBoundedEnv(text, 1000000);
+}
+
+int KgServer::ParseDrainTimeoutEnv(const char* text) {
+  return ParseBoundedEnv(text, 600000);
 }
 
 ServerOptions ApplyServerEnv(ServerOptions base) {
@@ -96,6 +158,9 @@ ServerOptions ApplyServerEnv(ServerOptions base) {
       EnvOverride("KGNET_SERVE_QUEUE_DEPTH", &KgServer::ParseQueueDepthEnv,
                   base.queue_depth, "a queue depth in 1..1000000",
                   &g_queue_warned);
+  base.drain_timeout_ms = EnvOverride(
+      "KGNET_DRAIN_TIMEOUT_MS", &KgServer::ParseDrainTimeoutEnv,
+      base.drain_timeout_ms, "a timeout in ms in 1..600000", &g_drain_warned);
   return base;
 }
 
@@ -113,7 +178,8 @@ KgServer::KgServer(core::SparqlMlService* service, ServerOptions options)
     : service_(service),
       options_(options),
       batcher_(&service->inference_manager(), options.batcher),
-      embed_cache_(options.embed_cache_rows) {}
+      embed_cache_(options.embed_cache_rows),
+      breaker_(options.breaker) {}
 
 KgServer::~KgServer() { Stop(); }
 
@@ -161,9 +227,40 @@ Status KgServer::Start() {
   return Status::OK();
 }
 
+void KgServer::Drain() {
+  if (listen_fd_ < 0) return;
+  draining_.store(true, std::memory_order_relaxed);
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+  {
+    common::MutexLock lock(&active_mu_);
+    while (inflight_ > 0) {
+      const auto now = SteadyClock::now();
+      if (now >= deadline) break;
+      active_cv_.WaitFor(
+          active_mu_,
+          std::chrono::duration_cast<std::chrono::microseconds>(deadline - now));
+    }
+    if (inflight_ > 0) {
+      // Stragglers past the drain deadline: hard-cancel through their
+      // registered sources. Their workers observe the token at the next
+      // poll, answer Cancelled, and exit via the stop flag below.
+      for (common::CancelSource* source : active_sources_)
+        source->Cancel(common::CancelReason::kDrain);
+    }
+  }
+  Stop();
+}
+
 void KgServer::Stop() {
   if (listen_fd_ < 0) return;
-  stop_.store(true, std::memory_order_relaxed);
+  {
+    // The store must happen under queue_mu_: a worker that just evaluated
+    // its wait predicate but has not yet blocked would otherwise miss both
+    // the flag and the wakeup and sleep forever (join() then deadlocks).
+    common::MutexLock lock(&queue_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
   queue_cv_.NotifyAll();
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& w : workers_) w.join();
@@ -190,6 +287,21 @@ void KgServer::AcceptLoop() {
     {
       common::MutexLock lock(&stats_mu_);
       ++stats_.connections_accepted;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      WriteFrame(fd, BuildErrorResponse(
+                         0, Status::Unavailable("server draining")));
+      close(fd);
+      BumpStat(&Stats::drain_rejects);
+      continue;
+    }
+    if (InjectFault(common::FaultSite::kAdmissionQueue)) {
+      BumpStat(&Stats::injected_faults);
+      WriteFrame(fd, BuildErrorResponse(
+                         0, Status::ResourceExhausted(
+                                "injected fault: admission queue")));
+      close(fd);
+      continue;
     }
     bool admitted = false;
     {
@@ -225,6 +337,21 @@ void KgServer::WorkerLoop() {
       conn = queue_.front();
       queue_.pop_front();
     }
+    if (draining_.load(std::memory_order_relaxed)) {
+      WriteFrame(conn.fd, BuildErrorResponse(
+                              0, Status::Unavailable("server draining")));
+      close(conn.fd);
+      BumpStat(&Stats::drain_rejects);
+      continue;
+    }
+    if (InjectFault(common::FaultSite::kTaskDispatch)) {
+      BumpStat(&Stats::injected_faults);
+      WriteFrame(conn.fd, BuildErrorResponse(
+                              0, Status::ResourceExhausted(
+                                     "injected fault: task dispatch")));
+      close(conn.fd);
+      continue;
+    }
     const auto waited = std::chrono::steady_clock::now() - conn.enqueued;
     if (options_.request_deadline_ms > 0 &&
         waited >= std::chrono::milliseconds(options_.request_deadline_ms)) {
@@ -239,12 +366,20 @@ void KgServer::WorkerLoop() {
       ++stats_.overload_rejects;
       continue;
     }
-    ServeConnection(conn.fd);
+    ServeConnection(conn.fd, conn.enqueued);
   }
 }
 
-void KgServer::ServeConnection(int fd) {
+void KgServer::ServeConnection(int fd,
+                               std::chrono::steady_clock::time_point enqueued) {
+  bool first_request = true;
   for (;;) {
+    if (InjectFault(common::FaultSite::kSocketRead)) {
+      // A read-side transport fault: the connection dies without a
+      // byte of explanation, exactly like a mid-request peer reset.
+      BumpStat(&Stats::injected_faults);
+      break;
+    }
     std::string body;
     const Status rs = ReadFrame(fd, options_.max_frame_bytes,
                                 options_.idle_timeout_ms, &stop_, &body);
@@ -259,7 +394,24 @@ void KgServer::ServeConnection(int fd) {
       }
       break;  // clean close, idle timeout, stop, or socket error
     }
-    const std::string resp = HandleBody(body);
+    if (draining_.load(std::memory_order_relaxed)) {
+      WriteFrame(fd, BuildErrorResponse(
+                         0, Status::Unavailable("server draining")));
+      BumpStat(&Stats::drain_rejects);
+      break;
+    }
+    // Deadline budgets start when the request arrived: a connection's
+    // first request was already waiting while queued, later ones arrive
+    // with the frame just read.
+    const auto anchor =
+        first_request ? enqueued : std::chrono::steady_clock::now();
+    first_request = false;
+    std::string resp;
+    {
+      // Every in-flight request is visible to Drain(), whatever its op.
+      ScopedActiveSource active(this, nullptr);
+      resp = HandleBody(fd, body, anchor);
+    }
     {
       // Count before the write: once a client has read its response, the
       // counter must already include it (tests sample stats right after
@@ -267,12 +419,28 @@ void KgServer::ServeConnection(int fd) {
       common::MutexLock lock(&stats_mu_);
       ++stats_.requests_served;
     }
+    if (InjectFault(common::FaultSite::kSocketWrite)) {
+      // Write-side transport fault: the request executed but the
+      // response evaporates — the ambiguity the "rid" dedup cache
+      // exists to make retry-safe.
+      BumpStat(&Stats::injected_faults);
+      break;
+    }
     if (!WriteFrame(fd, resp).ok()) break;
+    if (draining_.load(std::memory_order_relaxed)) break;
   }
   close(fd);
 }
 
-std::string KgServer::HandleBody(const std::string& body) {
+std::string KgServer::HandleBody(
+    int fd, const std::string& body,
+    std::chrono::steady_clock::time_point anchor) {
+  if (InjectFault(common::FaultSite::kFrameParse)) {
+    BumpStat(&Stats::injected_faults);
+    BumpError();
+    return BuildErrorResponse(
+        0, Status::InvalidArgument("injected fault: frame parse"));
+  }
   auto req = ParseRequest(body);
   if (!req.ok()) {
     BumpError();
@@ -281,8 +449,10 @@ std::string KgServer::HandleBody(const std::string& body) {
   switch (req->op) {
     case Request::Op::kPing:
       return BuildPongResponse(req->id);
+    case Request::Op::kHealth:
+      return HandleHealth(*req);
     case Request::Op::kQuery:
-      return HandleQuery(*req);
+      return HandleQuery(fd, *req, anchor);
     case Request::Op::kInferClass:
     case Request::Op::kInferLinks:
     case Request::Op::kInferSimilar:
@@ -292,44 +462,183 @@ std::string KgServer::HandleBody(const std::string& body) {
   return BuildErrorResponse(req->id, Status::Internal("unhandled op"));
 }
 
-std::string KgServer::HandleQuery(const Request& req) {
+std::string KgServer::HandleQuery(
+    int fd, const Request& req,
+    std::chrono::steady_clock::time_point anchor) {
   auto parsed = sparql::ParseQuery(req.query);
   if (!parsed.ok()) {
     BumpError();
     return BuildErrorResponse(req.id, parsed.status());
   }
+  // Deadline triage before any execution: a zero budget never had a
+  // chance, and a budget that queue wait already consumed fails here
+  // instead of burning a snapshot (satellite 3, docs/RESILIENCE.md).
+  const bool has_deadline = req.deadline_ms >= 0;
+  const auto deadline_at = anchor + std::chrono::milliseconds(
+                                        has_deadline ? req.deadline_ms : 0);
+  if (has_deadline) {
+    if (req.deadline_ms == 0) {
+      BumpStat(&Stats::deadline_immediate);
+      BumpError();
+      return BuildErrorResponse(
+          req.id,
+          Status::DeadlineExceeded("deadline_ms=0: request has no budget"));
+    }
+    if (std::chrono::steady_clock::now() >= deadline_at) {
+      BumpStat(&Stats::deadline_queue_expired);
+      BumpError();
+      return BuildErrorResponse(
+          req.id, Status::DeadlineExceeded(
+                      "deadline expired before execution started"));
+    }
+  }
   if (RoutesToService(*parsed, req.query)) {
+    const bool mutating = parsed->kind != sparql::QueryKind::kSelect &&
+                          parsed->kind != sparql::QueryKind::kAsk;
+    if (mutating && !req.rid.empty() && options_.rid_cache_entries > 0) {
+      // At-most-once: a retried mutating request is answered with the
+      // response cached when it was first applied.
+      std::string cached = LookupRidResponse(req.rid);
+      if (!cached.empty()) {
+        BumpStat(&Stats::rid_replays);
+        return cached;
+      }
+    }
+    if (!mutating) {
+      // SPARQL-ML reads sit behind the inference circuit breaker: with
+      // the model runtime wedged they fail fast with a retry-after hint
+      // instead of queueing on ml_mu_ (plain reads never come here).
+      Status admit = breaker_.Admit();
+      if (!admit.ok()) {
+        BumpStat(&Stats::breaker_fast_fails);
+        BumpError();
+        return BuildErrorResponse(req.id, admit);
+      }
+    }
     Result<sparql::QueryResult> result = Status::Internal("pending");
     {
       common::MutexLock lock(&ml_mu_);
+      if (has_deadline && std::chrono::steady_clock::now() >= deadline_at) {
+        // The budget ran out waiting for the serialized path; the model
+        // was never called, so release the admission without a verdict.
+        if (!mutating) breaker_.Abort();
+        BumpStat(&Stats::deadline_exec_expired);
+        BumpError();
+        return BuildErrorResponse(
+            req.id, Status::DeadlineExceeded(
+                        "deadline expired waiting for the service path"));
+      }
       result = service_->Execute(req.query);
     }
+    if (!mutating) breaker_.Record(result.status());
     // Training and model deletes change what the inference ops may
     // serve; drop cached rows rather than risk a stale model's.
-    if (parsed->kind != sparql::QueryKind::kSelect &&
-        parsed->kind != sparql::QueryKind::kAsk)
-      embed_cache_.Clear();
+    if (mutating) embed_cache_.Clear();
+    std::string resp;
     if (!result.ok()) {
       BumpError();
-      return BuildErrorResponse(req.id, result.status());
+      resp = BuildErrorResponse(req.id, result.status());
+    } else {
+      resp = BuildQueryResponse(req.id, *result, nullptr);
     }
-    return BuildQueryResponse(req.id, *result, nullptr);
+    if (mutating && !req.rid.empty() && options_.rid_cache_entries > 0)
+      StoreRidResponse(req.rid, resp);
+    return resp;
   }
-  // Concurrent plain-read path: one MVCC snapshot per request.
+  // Concurrent plain-read path: one MVCC snapshot per request, one
+  // CancelSource wired for the deadline, the peer vanishing, and a
+  // drain hard-cancel.
+  common::CancelSource source;
+  if (has_deadline) source.set_deadline(deadline_at);
+  source.set_abandon_probe([fd] { return PeerGone(fd); });
   sparql::ExecInfo info;
   const rdf::Snapshot snapshot = service_->engine().store()->OpenSnapshot();
-  auto result = service_->engine().Execute(*parsed, snapshot, &info);
+  Result<sparql::QueryResult> result = Status::Internal("pending");
+  {
+    ScopedActiveSource active(this, &source);
+    result =
+        service_->engine().Execute(*parsed, snapshot, &info, source.token());
+  }
   if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded)
+      BumpStat(&Stats::deadline_exec_expired);
+    else if (result.status().code() == StatusCode::kCancelled)
+      BumpStat(&Stats::cancelled);
     BumpError();
     return BuildErrorResponse(req.id, result.status());
   }
   return BuildQueryResponse(req.id, *result, &info);
 }
 
+std::string KgServer::HandleHealth(const Request& req) {
+  HealthInfo h;
+  h.breaker = BreakerStateName(breaker_.state());
+  h.retry_after_ms = breaker_.retry_after_ms();
+  {
+    common::MutexLock lock(&queue_mu_);
+    h.queue_depth = queue_.size();
+  }
+  h.queue_capacity = static_cast<size_t>(options_.queue_depth);
+  h.epoch = service_->engine().store()->OpenSnapshot().epoch();
+  h.draining = draining_.load(std::memory_order_relaxed);
+  {
+    // Served count as of before this health request (it is counted
+    // after HandleBody returns).
+    common::MutexLock lock(&stats_mu_);
+    h.requests_served = stats_.requests_served;
+  }
+  return BuildHealthResponse(req.id, h);
+}
+
+std::string KgServer::LookupRidResponse(const std::string& rid) {
+  common::MutexLock lock(&rid_mu_);
+  auto it = rid_cache_.find(rid);
+  if (it == rid_cache_.end()) return std::string();
+  rid_lru_.splice(rid_lru_.begin(), rid_lru_, it->second.first);
+  return it->second.second;
+}
+
+void KgServer::StoreRidResponse(const std::string& rid,
+                                const std::string& response) {
+  common::MutexLock lock(&rid_mu_);
+  auto it = rid_cache_.find(rid);
+  if (it != rid_cache_.end()) {
+    rid_lru_.splice(rid_lru_.begin(), rid_lru_, it->second.first);
+    it->second.second = response;
+    return;
+  }
+  rid_lru_.push_front(rid);
+  rid_cache_.emplace(rid, std::make_pair(rid_lru_.begin(), response));
+  while (rid_cache_.size() > options_.rid_cache_entries) {
+    rid_cache_.erase(rid_lru_.back());
+    rid_lru_.pop_back();
+  }
+}
+
 std::string KgServer::HandleInfer(const Request& req) {
+  // Every inference op passes the circuit breaker: Admit() -> model
+  // call -> Record(outcome). Wedged-model failures (Internal /
+  // Unavailable) accumulate and open it; client mistakes (NotFound,
+  // InvalidArgument) do not.
+  {
+    Status admit = breaker_.Admit();
+    if (!admit.ok()) {
+      BumpStat(&Stats::breaker_fast_fails);
+      BumpError();
+      return BuildErrorResponse(req.id, admit);
+    }
+  }
+  if (InjectFault(common::FaultSite::kModelCall)) {
+    const Status st = Status::Internal("injected fault: model call");
+    breaker_.Record(st);
+    BumpStat(&Stats::injected_faults);
+    BumpError();
+    return BuildErrorResponse(req.id, st);
+  }
   core::InferenceManager& im = service_->inference_manager();
   if (req.op == Request::Op::kInferClass) {
     auto r = batcher_.NodeClass(req.model, req.node);
+    breaker_.Record(r.status());
     if (!r.ok()) {
       BumpError();
       return BuildErrorResponse(req.id, r.status());
@@ -338,6 +647,7 @@ std::string KgServer::HandleInfer(const Request& req) {
   }
   if (req.op == Request::Op::kInferLinks) {
     auto r = batcher_.TopKLinks(req.model, req.node, req.k);
+    breaker_.Record(r.status());
     if (!r.ok()) {
       BumpError();
       return BuildErrorResponse(req.id, r.status());
@@ -363,6 +673,7 @@ std::string KgServer::HandleInfer(const Request& req) {
     r = im.GetSimilarByRow(req.model, req.node, *row, req.k);
   else
     r = im.GetSimilarEntities(req.model, req.node, req.k);
+  breaker_.Record(r.status());
   if (!r.ok()) {
     BumpError();
     return BuildErrorResponse(req.id, r.status());

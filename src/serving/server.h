@@ -33,13 +33,18 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_annotations.h"
 #include "core/sparqlml.h"
+#include "serving/circuit_breaker.h"
 #include "serving/infer_batcher.h"
 #include "serving/protocol.h"
 
@@ -66,12 +71,22 @@ struct ServerOptions {
   BatcherOptions batcher;
   /// Capacity (rows) of the hot embedding-row LRU; 0 disables it.
   size_t embed_cache_rows = 256;
+  /// Circuit breaker around the inference / SPARQL-ML path
+  /// (serving/circuit_breaker.h, docs/RESILIENCE.md).
+  BreakerOptions breaker;
+  /// How long Drain() waits for in-flight requests before hard-cancelling
+  /// them through their CancelSources.
+  int drain_timeout_ms = 5000;
+  /// Entries in the at-most-once response cache keyed by request "rid"
+  /// (deduplicates retried mutating requests); 0 disables deduplication.
+  size_t rid_cache_entries = 256;
 };
 
 /// Applies KGNET_SERVE_PORT / KGNET_SERVE_WORKERS /
-/// KGNET_SERVE_QUEUE_DEPTH on top of `base`. Malformed values are
-/// rejected with a once-per-process stderr warning and the base value
-/// kept — same contract as KGNET_NUM_THREADS (common/thread_pool.h).
+/// KGNET_SERVE_QUEUE_DEPTH / KGNET_DRAIN_TIMEOUT_MS on top of `base`.
+/// Malformed values are rejected with a once-per-process stderr warning
+/// and the base value kept — same contract as KGNET_NUM_THREADS
+/// (common/thread_pool.h).
 ServerOptions ApplyServerEnv(ServerOptions base);
 
 /// The TCP server. Start() spawns the acceptor and workers; Stop() (or
@@ -87,6 +102,15 @@ class KgServer {
   Status Start();
   void Stop();
 
+  /// Graceful shutdown (docs/RESILIENCE.md): flips the server into
+  /// draining mode (new connections and newly read requests are answered
+  /// with Unavailable("server draining")), waits up to
+  /// options.drain_timeout_ms for in-flight requests to finish, then
+  /// hard-cancels the stragglers through their CancelSources and calls
+  /// Stop(). Idempotent; kgnet_serve wires SIGTERM to it.
+  void Drain();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   /// The bound port (resolved when options.port was 0). Valid after a
   /// successful Start().
   int port() const { return port_; }
@@ -97,11 +121,30 @@ class KgServer {
     uint64_t error_responses = 0;
     uint64_t overload_rejects = 0;
     uint64_t malformed_frames = 0;
+    /// Deadline outcomes by where the budget ran out (docs/RESILIENCE.md):
+    /// deadline_ms=0 (never had budget), expired while queued / between
+    /// requests, expired mid-execution (cancel token tripped).
+    uint64_t deadline_immediate = 0;
+    uint64_t deadline_queue_expired = 0;
+    uint64_t deadline_exec_expired = 0;
+    /// Queries stopped by a non-deadline cancellation (client vanished,
+    /// drain hard-cancel).
+    uint64_t cancelled = 0;
+    /// Requests fast-failed by the open inference circuit breaker.
+    uint64_t breaker_fast_fails = 0;
+    /// Retried mutating requests answered from the rid cache instead of
+    /// being applied a second time.
+    uint64_t rid_replays = 0;
+    /// Faults fired by the deterministic injector at server-side sites.
+    uint64_t injected_faults = 0;
+    /// Connections / requests turned away because the server is draining.
+    uint64_t drain_rejects = 0;
   };
   Stats stats() const;
 
   InferBatcher& batcher() { return batcher_; }
   EmbedRowCache& embed_cache() { return embed_cache_; }
+  CircuitBreaker& breaker() { return breaker_; }
   const ServerOptions& options() const { return options_; }
 
   /// True when a query must run on the serialized SPARQL-ML service
@@ -116,36 +159,55 @@ class KgServer {
 
   /// Digit-only env parsers (shared warn-once contract; exposed for the
   /// garbage-value unit tests). Return 0 on absent/invalid input.
-  static int ParsePortEnv(const char* text);        // valid: 1..65535
-  static int ParseWorkersEnv(const char* text);     // valid: 1..1024
-  static int ParseQueueDepthEnv(const char* text);  // valid: 1..1000000
+  static int ParsePortEnv(const char* text);          // valid: 1..65535
+  static int ParseWorkersEnv(const char* text);       // valid: 1..1024
+  static int ParseQueueDepthEnv(const char* text);    // valid: 1..1000000
+  static int ParseDrainTimeoutEnv(const char* text);  // valid: 1..600000
 
  private:
   struct PendingConn {
     int fd = -1;
     std::chrono::steady_clock::time_point enqueued;
   };
+  friend class ScopedActiveSource;
 
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
-  /// Executes one request body and returns the response body.
-  std::string HandleBody(const std::string& body);
-  std::string HandleQuery(const Request& req);
+  void ServeConnection(int fd, std::chrono::steady_clock::time_point enqueued);
+  /// Executes one request body and returns the response body. `anchor`
+  /// is when the request arrived (enqueue time for a connection's first
+  /// request, frame-read time after that); deadline_ms budgets are
+  /// measured from it, so queue wait counts against the deadline.
+  std::string HandleBody(int fd, const std::string& body,
+                         std::chrono::steady_clock::time_point anchor);
+  std::string HandleQuery(int fd, const Request& req,
+                          std::chrono::steady_clock::time_point anchor);
   std::string HandleInfer(const Request& req);
+  std::string HandleHealth(const Request& req);
   void BumpError() {
     common::MutexLock lock(&stats_mu_);
     ++stats_.error_responses;
   }
+  void BumpStat(uint64_t Stats::* field) {
+    common::MutexLock lock(&stats_mu_);
+    ++(stats_.*field);
+  }
+  /// rid cache: returns the cached response for `rid` (refreshing its LRU
+  /// position) or empty; Store inserts/overwrites and evicts LRU entries
+  /// beyond options.rid_cache_entries.
+  std::string LookupRidResponse(const std::string& rid);
+  void StoreRidResponse(const std::string& rid, const std::string& response);
 
   core::SparqlMlService* service_;
   const ServerOptions options_;
   InferBatcher batcher_;
   EmbedRowCache embed_cache_;
+  CircuitBreaker breaker_;
 
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
   // Written by Start(), joined by Stop(); workers never touch the
   // vectors themselves.
   std::thread acceptor_;
@@ -157,6 +219,24 @@ class KgServer {
 
   /// Serializes the SPARQL-ML / update path (see RoutesToService).
   common::Mutex ml_mu_;
+
+  /// In-flight request accounting for Drain(): every request being
+  /// handled bumps inflight_, and each plain-read query registers its
+  /// CancelSource here so a timed-out drain can hard-cancel it. A source
+  /// is only unregistered under active_mu_, so Drain() never touches a
+  /// destroyed source.
+  common::Mutex active_mu_;
+  common::CondVar active_cv_;
+  int inflight_ KGNET_GUARDED_BY(active_mu_) = 0;
+  std::vector<common::CancelSource*> active_sources_
+      KGNET_GUARDED_BY(active_mu_);
+
+  /// At-most-once response cache: rid -> (LRU position, response bytes).
+  common::Mutex rid_mu_;
+  std::list<std::string> rid_lru_ KGNET_GUARDED_BY(rid_mu_);
+  std::unordered_map<std::string,
+                     std::pair<std::list<std::string>::iterator, std::string>>
+      rid_cache_ KGNET_GUARDED_BY(rid_mu_);
 
   mutable common::Mutex stats_mu_;
   Stats stats_ KGNET_GUARDED_BY(stats_mu_);

@@ -107,6 +107,13 @@ Status EvalPatternsLegacy(const GraphPattern& gp, EvalContext* ctx,
       used[best] = true;
       TriplePattern bound = BindPattern(cp, sol);
       ctx->snapshot.Scan(bound, [&](const Triple& t) {
+        // Cancellation poll: the legacy evaluator's only long-running
+        // loop is this scan callback.
+        Status cs = ctx->cancel.Check();
+        if (!cs.ok()) {
+          status = std::move(cs);
+          return false;
+        }
         // Bind free positions; check join consistency for repeated vars.
         TermId olds = cp.s_slot >= 0 ? sol[cp.s_slot] : kNullTermId;
         TermId oldp = cp.p_slot >= 0 ? sol[cp.p_slot] : kNullTermId;
@@ -290,6 +297,10 @@ Status DrainSelectRows(const Query& query, EvalContext* ctx,
   while ((query.limit < 0 ||
           result->rows.size() < static_cast<size_t>(query.limit)) &&
          next(sol)) {
+    // Cancellation poll per drained row: covers the single-pattern fast
+    // path (whose cursor loop has no operator underneath) and catches a
+    // trip between operator pulls on the streaming path.
+    KGNET_RETURN_IF_ERROR(ctx->cancel.Check());
     auto row = ProjectRow(items, ctx, *sol);
     if (!row.ok()) return row.status();
     if (query.distinct && !seen.insert(RowKey(*row)).second) continue;
@@ -485,11 +496,13 @@ Result<QueryResult> QueryEngine::Execute(const Query& query, ExecInfo* info) {
 
 Result<QueryResult> QueryEngine::Execute(const Query& query,
                                          const rdf::Snapshot& snapshot,
-                                         ExecInfo* info) {
+                                         ExecInfo* info,
+                                         common::CancelToken cancel) {
   EvalContext ctx;
   ctx.store = store_;
   ctx.snapshot = snapshot;
   ctx.udfs = &udfs_;
+  ctx.cancel = std::move(cancel);
   if (info != nullptr) {
     info->snapshot_epoch = snapshot.epoch();
     info->snapshot_delta = snapshot.delta_size();
@@ -516,7 +529,7 @@ Result<QueryResult> QueryEngine::Execute(const Query& query,
     // Sub-SELECTs read through the same snapshot, so the whole query —
     // outer BGP and seeds alike — observes one storage epoch.
     KGNET_ASSIGN_OR_RETURN(QueryResult sub_result,
-                           Execute(*sub, ctx.snapshot, &sub_info));
+                           Execute(*sub, ctx.snapshot, &sub_info, ctx.cancel));
     stats.rows_scanned += sub_info.rows_scanned;
     // Register subselect output columns as variables.
     std::vector<int> slots;
@@ -573,7 +586,10 @@ Result<QueryResult> QueryEngine::Execute(const Query& query,
     if (query.kind == QueryKind::kAsk) {
       result.ask_result = plan.exec->Next(&sol);
       KGNET_RETURN_IF_ERROR(plan.exec->status());
-      if (info != nullptr) info->rows_scanned = stats.rows_scanned;
+      if (info != nullptr) {
+        info->rows_scanned = stats.rows_scanned;
+        info->cancel_checks = ctx.cancel.checks();
+      }
       return result;
     }
 
@@ -583,7 +599,10 @@ Result<QueryResult> QueryEngine::Execute(const Query& query,
         query, &ctx, items, [&](Solution* s) { return plan.exec->Next(s); },
         &sol, &result));
     KGNET_RETURN_IF_ERROR(plan.exec->status());
-    if (info != nullptr) info->rows_scanned = stats.rows_scanned;
+    if (info != nullptr) {
+      info->rows_scanned = stats.rows_scanned;
+      info->cancel_checks = ctx.cancel.checks();
+    }
     return result;
   }
 
@@ -594,7 +613,10 @@ Result<QueryResult> QueryEngine::Execute(const Query& query,
   KGNET_RETURN_IF_ERROR(EvalGroup(query.where, &ctx, std::move(seeds),
                                   &solutions, streaming, &stats));
   for (auto& s : solutions) s.resize(ctx.vars.size(), kNullTermId);
-  if (info != nullptr) info->rows_scanned = stats.rows_scanned;
+  if (info != nullptr) {
+    info->rows_scanned = stats.rows_scanned;
+    info->cancel_checks = ctx.cancel.checks();
+  }
 
   QueryResult result;
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
@@ -60,6 +61,10 @@ struct ExecInfo {
   /// rdf::Snapshot) — every read in the query saw exactly this epoch.
   uint64_t snapshot_epoch = 0;
   size_t snapshot_delta = 0;
+  /// Cancellation polls performed during execution (0 when the caller
+  /// supplied no token). Tests assert that long scans poll often enough
+  /// for a deadline to bite mid-query (docs/RESILIENCE.md).
+  uint64_t cancel_checks = 0;
 };
 
 /// Executes SPARQL queries against a single TripleStore.
@@ -92,9 +97,13 @@ class QueryEngine {
   /// Executes an already-parsed query against an explicit storage
   /// snapshot — all reads (planner estimates, scans, sub-SELECTs) see
   /// that epoch even if the store has mutated since it was opened.
-  /// Updates (INSERT/DELETE) still apply to the live store.
+  /// Updates (INSERT/DELETE) still apply to the live store. `cancel`,
+  /// when valid, is polled per pulled row: a tripped token aborts the
+  /// query with Cancelled/DeadlineExceeded instead of finishing the
+  /// scan (the serving layer's deadline/drain path).
   Result<QueryResult> Execute(const Query& query, const rdf::Snapshot& snapshot,
-                              ExecInfo* info = nullptr);
+                              ExecInfo* info = nullptr,
+                              common::CancelToken cancel = {});
 
   /// Renders the physical plan the streaming executor would use for the
   /// WHERE clause of `query` (plus Project/Limit wrappers for SELECT)

@@ -280,6 +280,7 @@ void IndexScan::DecodeWave() {
 bool IndexScan::Next(Solution* row) {
   if (parallel_) {
     for (;;) {
+      if (Cancelled()) return false;
       if (buf_pos_ < buf_.size()) {
         *row = std::move(buf_[buf_pos_++]);
         return true;
@@ -290,6 +291,7 @@ bool IndexScan::Next(Solution* row) {
   }
   Triple t;
   while (cursor_.Next(&t)) {
+    if (Cancelled()) return false;
     ++stats_->rows_scanned;
     if (BindRow(t, row)) return true;
   }
@@ -352,6 +354,7 @@ bool SortMergeJoin::AdvanceRight() {
 bool SortMergeJoin::Next(Solution* row) {
   for (;;) {
     if (!status_.ok()) return false;
+    if (Cancelled()) return false;
     if (matching_) {
       // Emit remaining (current left row) x (buffered right group) pairs.
       if (epos_ < emit_.size()) {
@@ -435,6 +438,7 @@ bool HashJoin::Next(Solution* row) {
     pending_.clear();
     out_pos_ = 0;
     if (!status_.ok()) return false;
+    if (Cancelled()) return false;
     if (probe_done_ && build_done_) return false;
     if (parallel_)
       StepBatch();

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
@@ -81,6 +82,10 @@ struct EvalContext {
   rdf::Snapshot snapshot;
   UdfRegistry* udfs = nullptr;
   VarTable vars;
+  /// Cooperative cancellation handle for this execution. The default
+  /// token is inert; the serving layer installs a real one so deadlined
+  /// or abandoned queries stop mid-scan (docs/RESILIENCE.md).
+  common::CancelToken cancel;
 };
 
 /// Truthiness of a term under SPARQL effective-boolean-value rules
@@ -181,8 +186,28 @@ class Operator {
 
   const Status& status() const { return status_; }
 
+  /// Installs the cancellation token this operator polls from Next().
+  /// The planner sets it on the operators it constructs; the default
+  /// token is inert. Not recursive — each operator gets its own call.
+  void set_cancel_token(common::CancelToken token) {
+    cancel_ = std::move(token);
+  }
+
  protected:
+  /// Cancellation poll for Next() loops: true once the token tripped,
+  /// with status_ set to the Cancelled/DeadlineExceeded status. Polls
+  /// only on the driver thread (Next() is driver-only), per the
+  /// CancelToken threading contract.
+  bool Cancelled() {
+    if (!cancel_.valid()) return false;
+    Status s = cancel_.Check();
+    if (s.ok()) return false;
+    status_ = std::move(s);
+    return true;
+  }
+
   Status status_ = Status::OK();
+  common::CancelToken cancel_;
 };
 
 /// Merges two partial rows into `out`; false when some slot carries

@@ -90,6 +90,13 @@ std::string ParallelMark(size_t range) {
   return wide && range >= cfg.scan_min_parallel_rows ? " [parallel]" : "";
 }
 
+/// EXPLAIN marker: this scan is a cancellation point — the execution
+/// carries a live CancelToken it polls per pulled row. Absent for plain
+/// in-process queries, which run with the inert default token.
+std::string CancelMark(const EvalContext* ctx) {
+  return ctx->cancel.valid() ? " [cancel]" : "";
+}
+
 std::string SlotList(const std::vector<int>& slots, const VarTable& vars) {
   std::string s;
   for (int slot : slots) {
@@ -350,12 +357,16 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
 
   auto make_scan = [&](PatternState& ps, const ScanChoice* choice)
       -> std::unique_ptr<Operator> {
+    std::unique_ptr<Operator> scan;
     if (choice != nullptr)
-      return std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
+      scan = std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
                                          choice->order, choice->ordered_slot,
                                          stats);
-    return std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
-                                       std::nullopt, -1, stats);
+    else
+      scan = std::make_unique<IndexScan>(&ctx->snapshot, ps.cp, width,
+                                         std::nullopt, -1, stats);
+    scan->set_cancel_token(ctx->cancel);
+    return scan;
   };
 
   // --- initial relation: the most selective pattern ---
@@ -370,7 +381,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
     if (build_desc)
       run.desc = LeafNode(PlanNode::Kind::kIndexScan,
                           PatternLabel(ps, IndexOrderName(c.order)) +
-                              ParallelMark(c.range),
+                              ParallelMark(c.range) + CancelMark(ctx),
                           ps.out_est);
     run.est = ps.out_est;
     run.ordered = c.ordered_slot;
@@ -490,7 +501,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
           auto rdesc =
               LeafNode(PlanNode::Kind::kIndexScan,
                        PatternLabel(ps, IndexOrderName(best.choice->order)) +
-                           ParallelMark(best.choice->range),
+                           ParallelMark(best.choice->range) + CancelMark(ctx),
                        ps.out_est);
           std::string label =
               "MergeJoin(?" + ctx->vars.name(run.ordered) + ")";
@@ -499,6 +510,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
         }
         run.op = std::make_unique<SortMergeJoin>(std::move(run.op),
                                                  std::move(right), run.ordered);
+        run.op->set_cancel_token(ctx->cancel);
         // run.ordered stays: merge output is ordered on the key.
         break;
       }
@@ -523,7 +535,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
           auto bdesc =
               LeafNode(PlanNode::Kind::kIndexScan,
                        PatternLabel(ps, IndexOrderName(best.choice->order)) +
-                           ParallelMark(best.choice->range),
+                           ParallelMark(best.choice->range) + CancelMark(ctx),
                        ps.out_est);
           std::string label =
               best.cross
@@ -534,6 +546,7 @@ Plan PlanBasicGraphPattern(const GraphPattern& gp, EvalContext* ctx,
         }
         run.op = std::make_unique<HashJoin>(std::move(run.op),
                                             std::move(build), best.shared);
+        run.op->set_cancel_token(ctx->cancel);
         // The symmetric hash join interleaves its two inputs, so the
         // running plan loses any streaming order here.
         run.ordered = -1;

@@ -35,9 +35,22 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
         StatusCode::kUnimplemented, StatusCode::kParseError,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, ResilienceCodes) {
+  const Status cancelled = Status::Cancelled("stopped");
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stopped");
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: too slow");
+  const Status unavailable = Status::Unavailable("try later");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: try later");
 }
 
 Status Fails() { return Status::OutOfRange("boom"); }
