@@ -58,6 +58,19 @@ Status CancelToken::Check() const {
   return StatusForReason(reason);
 }
 
+Status CancelToken::CheckNow() const {
+  if (state_ == nullptr) return Status::OK();
+  detail::CancelState* s = state_.get();
+  s->polls.fetch_add(1, std::memory_order_relaxed);
+  int reason = s->reason.load(std::memory_order_relaxed);
+  if (reason == static_cast<int>(CancelReason::kNone) && s->has_deadline &&
+      std::chrono::steady_clock::now() >= s->deadline) {
+    LatchReason(s, CancelReason::kDeadline);
+    reason = s->reason.load(std::memory_order_relaxed);
+  }
+  return StatusForReason(reason);
+}
+
 void CancelSource::Cancel(CancelReason reason) {
   if (reason == CancelReason::kNone) return;
   LatchReason(state_.get(), reason);

@@ -78,6 +78,13 @@ class CancelToken {
   /// Cancelled / DeadlineExceeded status (the reason latches).
   Status Check() const;
 
+  /// A poll that evaluates the deadline on every call instead of on the
+  /// stride. For checkpoints that are rare and expensive relative to a
+  /// clock read — trainers call this once per epoch, where the stride
+  /// would let a deadline slide for dozens of epochs. Does not run the
+  /// abandon probe (see the threading contract above).
+  Status CheckNow() const;
+
   /// True once the token has tripped (no poll side effects).
   bool cancelled() const {
     return state_ != nullptr &&

@@ -330,7 +330,7 @@ Result<Query> SparqlMlService::Rewrite(const SparqlMlAnalysis& analysis,
 
 Result<QueryResult> SparqlMlService::ExecuteSelectMl(
     const SparqlMlAnalysis& analysis, RewritePlan forced_plan,
-    bool use_forced, ExecutionStats* stats) {
+    bool use_forced, ExecutionStats* stats, common::CancelToken cancel) {
   gml::Stopwatch opt_timer;
   Query rewritten = analysis.query;
   RewritePlan chosen = RewritePlan::kPerInstance;
@@ -352,7 +352,10 @@ Result<QueryResult> SparqlMlService::ExecuteSelectMl(
 
   gml::Stopwatch exec_timer;
   const uint64_t calls_before = inference_->http_calls();
-  KGNET_ASSIGN_OR_RETURN(QueryResult result, engine_->Execute(current));
+  KGNET_ASSIGN_OR_RETURN(
+      QueryResult result,
+      engine_->Execute(current, kg_->OpenSnapshot(), nullptr,
+                       std::move(cancel)));
   if (stats != nullptr) {
     stats->plan = chosen;
     stats->http_calls = inference_->http_calls() - calls_before;
@@ -367,9 +370,10 @@ Result<QueryResult> SparqlMlService::ExecuteSelectMl(
 }
 
 Result<QueryResult> SparqlMlService::Execute(std::string_view text,
-                                             ExecutionStats* stats) {
+                                             ExecutionStats* stats,
+                                             common::CancelToken cancel) {
   if (text.find("TrainGML") != std::string_view::npos)
-    return ExecuteTrainGml(text);
+    return ExecuteTrainGml(text, std::move(cancel));
   KGNET_ASSIGN_OR_RETURN(Query query, sparql::ParseQuery(text));
   if (query.kind == QueryKind::kDeleteWhere) {
     // kgnet: metadata deletes manage models; anything else runs on the KG.
@@ -379,8 +383,11 @@ Result<QueryResult> SparqlMlService::Execute(std::string_view text,
     if (targets_kgmeta) return ExecuteDelete(query);
   }
   KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis analysis, Analyze(query));
-  if (!analysis.is_sparql_ml()) return engine_->Execute(query);
-  return ExecuteSelectMl(analysis, RewritePlan::kPerInstance, false, stats);
+  if (!analysis.is_sparql_ml())
+    return engine_->Execute(query, kg_->OpenSnapshot(), nullptr,
+                            std::move(cancel));
+  return ExecuteSelectMl(analysis, RewritePlan::kPerInstance, false, stats,
+                         std::move(cancel));
 }
 
 Result<SparqlMlService::ExplainResult> SparqlMlService::Explain(
@@ -408,7 +415,7 @@ Result<QueryResult> SparqlMlService::ExecuteWithPlan(std::string_view text,
   KGNET_ASSIGN_OR_RETURN(Query query, sparql::ParseQuery(text));
   KGNET_ASSIGN_OR_RETURN(SparqlMlAnalysis analysis, Analyze(query));
   if (!analysis.is_sparql_ml()) return engine_->Execute(query);
-  return ExecuteSelectMl(analysis, plan, true, stats);
+  return ExecuteSelectMl(analysis, plan, true, stats, {});
 }
 
 Result<TrainTaskSpec> SparqlMlService::ParseTrainSpec(
@@ -527,7 +534,8 @@ Result<TrainTaskSpec> SparqlMlService::ParseTrainSpec(
   return spec;
 }
 
-Result<QueryResult> SparqlMlService::ExecuteTrainGml(std::string_view text) {
+Result<QueryResult> SparqlMlService::ExecuteTrainGml(
+    std::string_view text, common::CancelToken cancel) {
   // Extract prefixes from the prologue (the full query may not parse as
   // standard SPARQL, so scan for PREFIX declarations directly).
   std::map<std::string, std::string> prefixes;
@@ -578,6 +586,9 @@ Result<QueryResult> SparqlMlService::ExecuteTrainGml(std::string_view text) {
 
   KGNET_ASSIGN_OR_RETURN(TrainTaskSpec spec,
                          ParseTrainSpec(payload, prefixes));
+  // A tripped token aborts training at the next epoch boundary and the
+  // pipeline returns before anything is registered (gml::TrainConfig).
+  spec.config.cancel = std::move(cancel);
   KGNET_ASSIGN_OR_RETURN(TrainOutcome outcome, training_->TrainTask(spec));
 
   // The INSERT materializes the model's KGMeta triples; report them.

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "core/inference_manager.h"
 #include "core/kgmeta.h"
@@ -83,9 +84,16 @@ class SparqlMlService {
   /// KGMeta, model store, inference and training managers.
   explicit SparqlMlService(rdf::TripleStore* kg);
 
-  /// Parses and executes any SPARQL or SPARQL-ML query.
+  /// Parses and executes any SPARQL or SPARQL-ML query. `cancel`, when
+  /// valid, makes the run cooperatively cancellable: the engine polls it
+  /// per pulled row, trainers poll it at epoch boundaries, and a tripped
+  /// token unwinds with Cancelled/DeadlineExceeded — a cancelled TrainGML
+  /// registers nothing, and a cancelled update aborts during its WHERE
+  /// scan, before any triple is applied. This is how KgServer::Drain()
+  /// bounds the serialized service path (docs/RESILIENCE.md).
   Result<sparql::QueryResult> Execute(std::string_view text,
-                                      ExecutionStats* stats = nullptr);
+                                      ExecutionStats* stats = nullptr,
+                                      common::CancelToken cancel = {});
 
   /// Forces a specific plan (benchmarks); kAuto = optimizer decides.
   Result<sparql::QueryResult> ExecuteWithPlan(std::string_view text,
@@ -143,12 +151,14 @@ class SparqlMlService {
   Result<ExplainResult> Explain(std::string_view text) const;
 
  private:
-  Result<sparql::QueryResult> ExecuteTrainGml(std::string_view text);
+  Result<sparql::QueryResult> ExecuteTrainGml(std::string_view text,
+                                              common::CancelToken cancel);
   Result<sparql::QueryResult> ExecuteDelete(const sparql::Query& query);
   Result<sparql::QueryResult> ExecuteSelectMl(const SparqlMlAnalysis& analysis,
                                               RewritePlan forced_plan,
                                               bool use_forced,
-                                              ExecutionStats* stats);
+                                              ExecutionStats* stats,
+                                              common::CancelToken cancel);
   void RegisterUdfs();
 
   rdf::TripleStore* kg_;

@@ -49,6 +49,7 @@ Status GcnClassifier::Train(const GraphData& graph, const TrainConfig& config,
   float loss = 0.0f;
   size_t epoch = 0;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     // ---- forward with caches ----
     Matrix z0 = adj.SpMM(x);

@@ -136,6 +136,7 @@ Status KgeModel::Train(const GraphData& graph, const TrainConfig& config,
   Matrix best_entities, best_relations;
   bool have_best = false;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     loss_acc = 0.0f;
     size_t steps = 0;

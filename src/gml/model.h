@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "gml/graph_data.h"
 
@@ -64,6 +65,15 @@ struct TrainConfig {
   /// at the first epoch boundary past the budget — this is how KGNet's
   /// task *time budget* reaches the pipeline.
   double max_seconds = 0.0;
+  /// Cooperative cancellation (common/cancel.h), polled (CheckNow, so a
+  /// deadline is evaluated every epoch rather than on the per-row
+  /// stride) at the same epoch boundaries as max_seconds; the default
+  /// token is inert. Unlike
+  /// the budget — which *keeps* the partially trained model — a tripped
+  /// token makes Train() return its Cancelled/DeadlineExceeded status,
+  /// so the pipeline registers nothing. This is how a draining server
+  /// bounds an in-flight TrainGML (docs/RESILIENCE.md).
+  common::CancelToken cancel;
 };
 
 /// What a training run produced (feeds KGMeta and the experiment tables).

@@ -210,6 +210,7 @@ Status MorseModel::Train(const GraphData& graph, const TrainConfig& config,
   };
 
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     loss_acc = 0.0f;
     for (const Edge& e : pos) {

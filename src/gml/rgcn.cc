@@ -38,6 +38,7 @@ Status RgcnClassifier::Train(const GraphData& graph,
   float loss = 0.0f;
   size_t epoch = 0;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     loss = net_->TrainStep(adj, x, train_labels, &opt);
     Matrix logits = net_->Forward(adj, x);

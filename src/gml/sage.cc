@@ -90,6 +90,7 @@ Status SageClassifier::Train(const GraphData& graph,
   float loss = 0.0f;
   size_t epoch = 0;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds)
       break;
     std::shuffle(train_nodes.begin(), train_nodes.end(), rng.generator());

@@ -81,6 +81,7 @@ Status GraphSaintClassifier::Train(const GraphData& graph,
   float loss = 0.0f;
   size_t epoch = 0;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     for (size_t b = 0; b < batches_per_epoch; ++b) {
       Subgraph sub =
@@ -168,6 +169,7 @@ Status ShadowSaintClassifier::Train(const GraphData& graph,
   float loss = 0.0f;
   size_t epoch = 0;
   for (; epoch < config.epochs; ++epoch) {
+    KGNET_RETURN_IF_ERROR(config.cancel.CheckNow());
     if (config.max_seconds > 0 && timer.Seconds() >= config.max_seconds) break;
     std::shuffle(train_nodes.begin(), train_nodes.end(), rng.generator());
     for (size_t start = 0; start < train_nodes.size();

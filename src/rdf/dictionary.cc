@@ -2,18 +2,73 @@
 
 namespace kgnet::rdf {
 
+Dictionary::Dictionary() {
+  // Slot for the reserved wildcard id 0.
+  common::MutexLock lock(&mu_);
+  owned_[0] = std::make_unique<Term[]>(BlockCapacity(0));
+  blocks_[0].store(owned_[0].get(), std::memory_order_release);
+  size_.store(1, std::memory_order_release);
+}
+
+Dictionary::~Dictionary() = default;
+
+Dictionary::Dictionary(Dictionary&& other) noexcept {
+  common::MutexLock theirs(&other.mu_);
+  common::MutexLock mine(&mu_);
+  for (size_t b = 0; b < kNumBlocks; ++b) {
+    owned_[b] = std::move(other.owned_[b]);
+    blocks_[b].store(owned_[b].get(), std::memory_order_release);
+    other.blocks_[b].store(nullptr, std::memory_order_release);
+  }
+  index_ = std::move(other.index_);
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_release);
+  other.index_.clear();
+  other.owned_[0] = std::make_unique<Term[]>(BlockCapacity(0));
+  other.blocks_[0].store(other.owned_[0].get(), std::memory_order_release);
+  other.size_.store(1, std::memory_order_release);
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this == &other) return *this;
+  common::MutexLock mine(&mu_);
+  common::MutexLock theirs(&other.mu_);
+  for (size_t b = 0; b < kNumBlocks; ++b) {
+    owned_[b] = std::move(other.owned_[b]);
+    blocks_[b].store(owned_[b].get(), std::memory_order_release);
+    other.blocks_[b].store(nullptr, std::memory_order_release);
+  }
+  index_ = std::move(other.index_);
+  size_.store(other.size_.load(std::memory_order_relaxed),
+              std::memory_order_release);
+  other.index_.clear();
+  other.owned_[0] = std::make_unique<Term[]>(BlockCapacity(0));
+  other.blocks_[0].store(other.owned_[0].get(), std::memory_order_release);
+  other.size_.store(1, std::memory_order_release);
+  return *this;
+}
+
 TermId Dictionary::Intern(const Term& term) {
   std::string key = term.EncodeKey();
+  common::MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
-  TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(term);
-  index_.emplace(std::move(key), id);
-  return id;
+  const size_t id = size_.load(std::memory_order_relaxed);
+  const size_t b = BlockIndex(static_cast<TermId>(id));
+  if (owned_[b] == nullptr) {
+    owned_[b] = std::make_unique<Term[]>(BlockCapacity(b));
+    blocks_[b].store(owned_[b].get(), std::memory_order_release);
+  }
+  owned_[b][OffsetInBlock(static_cast<TermId>(id), b)] = term;
+  size_.store(id + 1, std::memory_order_release);
+  index_.emplace(std::move(key), static_cast<TermId>(id));
+  return static_cast<TermId>(id);
 }
 
 TermId Dictionary::Find(const Term& term) const {
-  auto it = index_.find(term.EncodeKey());
+  const std::string key = term.EncodeKey();
+  common::MutexLock lock(&mu_);
+  auto it = index_.find(key);
   return it == index_.end() ? kNullTermId : it->second;
 }
 

@@ -2,23 +2,49 @@
 #ifndef KGNET_RDF_DICTIONARY_H_
 #define KGNET_RDF_DICTIONARY_H_
 
+#include <atomic>
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
+#include "common/thread_annotations.h"
 #include "rdf/term.h"
 
 namespace kgnet::rdf {
 
 /// Bidirectional mapping between Terms and dense TermIds.
 ///
-/// Ids start at 1; 0 is the reserved wildcard (kNullTermId). The dictionary
-/// owns the Term storage; `Lookup` returns stable references valid for the
-/// dictionary's lifetime.
+/// Ids start at 1; 0 is the reserved wildcard (kNullTermId). The
+/// dictionary owns the Term storage; `Lookup` returns stable references
+/// valid for the dictionary's lifetime.
+///
+/// Concurrency (the MVCC read-path contract, docs/STORAGE.md): `Lookup`,
+/// `Contains`, `size` and `num_terms` are lock-free and safe against
+/// concurrent `Intern` calls — terms live in doubling-size blocks that
+/// are never moved once published, so a reference handed out by `Lookup`
+/// survives any amount of later interning. `Intern` and `Find` serialize
+/// on an internal mutex (they share the string index, whose rehash is
+/// not concurrency-safe); both are off the per-row hot path — constants
+/// intern at plan/bind time, not per row.
+///
+/// Visibility: a reader may `Lookup` any id it obtained from a
+/// `TripleStore` snapshot or a `Find`/`Intern` result. Snapshot-carried
+/// ids are published via the store's mutation log mutex and `Find`
+/// results via the dictionary mutex, so the corresponding Term write
+/// always happens-before the read; `size()` pairs its acquire with the
+/// release store in `Intern` for callers probing ids directly.
 class Dictionary {
  public:
-  Dictionary() { terms_.emplace_back(); /* slot for id 0 */ }
+  Dictionary();
+  ~Dictionary();
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  /// Moves require exclusive access to both dictionaries (same contract
+  /// as TripleStore's moves). The source is left empty but valid.
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Interns `term`, returning its id (existing or newly assigned).
   TermId Intern(const Term& term);
@@ -37,20 +63,48 @@ class Dictionary {
   }
 
   /// Returns the term for a valid id. Precondition: 1 <= id < size().
-  const Term& Lookup(TermId id) const { return terms_[id]; }
+  const Term& Lookup(TermId id) const {
+    const size_t b = BlockIndex(id);
+    return blocks_[b].load(std::memory_order_acquire)[OffsetInBlock(id, b)];
+  }
 
   /// True if `id` names an interned term.
-  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+  bool Contains(TermId id) const { return id >= 1 && id < size(); }
 
   /// Number of slots including the reserved id 0.
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// Number of interned terms.
-  size_t num_terms() const { return terms_.size() - 1; }
+  size_t num_terms() const { return size() - 1; }
 
  private:
-  std::vector<Term> terms_;
-  std::unordered_map<std::string, TermId> index_;
+  /// Block b holds ids [kBase*(2^b - 1), kBase*(2^(b+1) - 1)) — 4096
+  /// slots in block 0, doubling per block. 21 blocks cover every value
+  /// a 32-bit TermId can take; the pointer array is 168 bytes.
+  static constexpr size_t kBaseShift = 12;
+  static constexpr size_t kBase = size_t{1} << kBaseShift;
+  static constexpr size_t kNumBlocks = 21;
+
+  static size_t BlockIndex(TermId id) {
+    const size_t m = (static_cast<size_t>(id) >> kBaseShift) + 1;
+    return static_cast<size_t>(63 - __builtin_clzll(m));
+  }
+  static size_t OffsetInBlock(TermId id, size_t block) {
+    return static_cast<size_t>(id) - kBase * ((size_t{1} << block) - 1);
+  }
+  static size_t BlockCapacity(size_t block) { return kBase << block; }
+
+  /// Published term count; the release store in Intern is the read
+  /// barrier for the slot written just before it.
+  std::atomic<size_t> size_{0};
+  /// Lock-free reader view of the blocks. Allocated by Intern under
+  /// mu_, published with a release store, never freed or moved until
+  /// destruction (ownership lives in owned_).
+  std::atomic<Term*> blocks_[kNumBlocks] = {};
+
+  mutable common::Mutex mu_;
+  std::unique_ptr<Term[]> owned_[kNumBlocks] KGNET_GUARDED_BY(mu_);
+  std::unordered_map<std::string, TermId> index_ KGNET_GUARDED_BY(mu_);
 };
 
 }  // namespace kgnet::rdf

@@ -334,9 +334,12 @@ class Snapshot {
 ///
 /// Concurrency: any number of concurrent readers are safe against one
 /// concurrent writer and a concurrent Compact(). Mutations themselves
-/// are single-writer (Insert/Erase from one thread at a time), and the
-/// Dictionary keeps the old phase contract: readers that intern new
-/// terms (query constants) must not race a mutating writer's interns.
+/// are single-writer (Insert/Erase from one thread at a time). The
+/// Dictionary is safe under the same regime: Lookup is lock-free
+/// against concurrent interning (terms live in blocks that never move
+/// once published), and Intern/Find serialize internally, so readers
+/// may intern query constants while the writer interns new terms (see
+/// rdf/dictionary.h).
 class TripleStore {
  public:
   /// Index configuration knobs, fixed at construction.

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,8 +17,8 @@ namespace kgnet::serving {
 
 namespace {
 
-/// splitmix64, the project-standard mixer (KL002): jitter and request
-/// ids must be deterministic functions of the configured seed.
+/// splitmix64, the project-standard mixer (KL002): the backoff jitter
+/// must be a deterministic function of the configured seed.
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -25,7 +26,22 @@ uint64_t SplitMix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+/// A nonce unique across client instances and processes: pid and wall
+/// time separate processes (including identically-seeded ones started
+/// at once — pids differ), the counter separates clients within one.
+uint64_t NextClientNonce() {
+  static std::atomic<uint64_t> counter{0};
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const uint64_t t = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+  return SplitMix64(SplitMix64(static_cast<uint64_t>(getpid())) ^
+                    SplitMix64(t) ^
+                    counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 }  // namespace
+
+KgClient::KgClient() : rid_nonce_(NextClientNonce()) {}
 
 bool RetryableStatus(const Status& status) {
   return status.code() == StatusCode::kUnavailable ||
@@ -180,13 +196,19 @@ Result<QueryResponse> KgClient::Query(const std::string& text) {
   // With retries armed, a stable per-request id rides along so the
   // server can deduplicate a replayed mutating request (the response it
   // cached for the first application is returned instead). Derived from
-  // (jitter_seed, id): deterministic, and identical on every attempt.
+  // (rid_nonce, jitter_seed, id): identical on every attempt of this
+  // request, but distinct across clients — the server cache is keyed by
+  // rid alone, so a collision with another client's rid would answer
+  // this request with that client's cached response and silently drop
+  // the update.
   std::string rid;
   if (retry_.max_attempts > 1) {
     char buf[20];
     std::snprintf(buf, sizeof(buf), "%016llx",
                   static_cast<unsigned long long>(SplitMix64(
-                      retry_.jitter_seed ^ static_cast<uint64_t>(id))));
+                      rid_nonce_ ^
+                      SplitMix64(retry_.jitter_seed ^
+                                 static_cast<uint64_t>(id)))));
     rid = buf;
   }
   KGNET_ASSIGN_OR_RETURN(

@@ -28,8 +28,10 @@ struct RetryOptions {
   /// Budget across all attempts, sleeps included; exceeded -> give up
   /// with the last attempt's status.
   int total_deadline_ms = 10000;
-  /// Seeds the jitter (and the auto-generated request ids), so a chaos
-  /// run's retry schedule replays exactly.
+  /// Seeds the backoff jitter, so a chaos run's retry schedule replays
+  /// exactly. Auto-generated request ids mix in a per-client nonce on
+  /// top of this seed (see KgClient::rid_nonce()) — two clients sharing
+  /// a jitter_seed still never collide on rids.
   uint64_t jitter_seed = 1;
 };
 
@@ -48,7 +50,7 @@ int RetryBackoffMs(const RetryOptions& options, int attempt);
 
 class KgClient {
  public:
-  KgClient() = default;
+  KgClient();
   ~KgClient() { Close(); }
   KgClient(const KgClient&) = delete;
   KgClient& operator=(const KgClient&) = delete;
@@ -113,10 +115,21 @@ class KgClient {
   /// Attaches "deadline_ms" to subsequent queries (-1 detaches).
   void set_request_deadline_ms(int64_t ms) { request_deadline_ms_ = ms; }
 
+  /// Per-client component of auto-generated rids, unique across client
+  /// instances and processes (pid + wall time + a process-global
+  /// counter, mixed). The server's rid dedup cache is keyed by rid
+  /// alone, so rids from *different* clients must never collide — two
+  /// processes running the identical program would otherwise generate
+  /// identical rid sequences and silently swallow each other's updates.
+  /// Overridable for harnesses that need fully reproducible wire bytes.
+  uint64_t rid_nonce() const { return rid_nonce_; }
+  void set_rid_nonce(uint64_t nonce) { rid_nonce_ = nonce; }
+
  private:
   int fd_ = -1;
   int timeout_ms_ = 30000;
   double next_id_ = 1;
+  uint64_t rid_nonce_ = 0;
   RetryOptions retry_;
   int64_t request_deadline_ms_ = -1;
   // Reconnect target for retries, recorded by Connect().

@@ -67,9 +67,17 @@ std::atomic<bool> g_workers_warned{false};
 std::atomic<bool> g_queue_warned{false};
 std::atomic<bool> g_drain_warned{false};
 
-/// True when the peer behind `fd` is definitively gone: a clean EOF or a
-/// hard reset visible to a non-blocking MSG_PEEK. Pending request bytes
-/// (r > 0) and transient conditions (EAGAIN, EINTR) mean "still there".
+/// True when the peer behind `fd` is gone: a clean EOF or a hard reset
+/// visible to a non-blocking MSG_PEEK. Pending request bytes (r > 0) and
+/// transient conditions (EAGAIN, EINTR) mean "still there".
+///
+/// EOF is *deliberately* read as abandonment: in this request/response
+/// protocol a FIN from a fully-closed and a half-closed (SHUT_WR) peer
+/// is indistinguishable, the bundled KgClient never half-closes, and
+/// tolerating EOF would let every orderly-closed client keep burning a
+/// worker until its query finishes. The trade-off — a third-party client
+/// that half-closes after sending its request gets its query cancelled —
+/// is documented in docs/RESILIENCE.md ("client abandonment").
 bool PeerGone(int fd) {
   char byte;
   const ssize_t r = recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
@@ -97,9 +105,10 @@ bool HasVariablePredicate(const sparql::GraphPattern& pattern) {
 
 }  // namespace
 
-/// Registers one in-flight request (and, when a plain-read query carries
-/// a CancelSource, that source) with the server for the scope of its
-/// handling, so Drain() can wait for it and hard-cancel it on timeout.
+/// Registers one in-flight request (and, when a query — plain read or
+/// serialized service-path — carries a CancelSource, that source) with
+/// the server for the scope of its handling, so Drain() can wait for it
+/// and hard-cancel it on timeout.
 class ScopedActiveSource {
  public:
   ScopedActiveSource(KgServer* server, common::CancelSource* source)
@@ -145,6 +154,18 @@ int KgServer::ParseQueueDepthEnv(const char* text) {
 
 int KgServer::ParseDrainTimeoutEnv(const char* text) {
   return ParseBoundedEnv(text, 600000);
+}
+
+bool CacheableRidOutcome(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return false;
+    default:
+      return true;
+  }
 }
 
 ServerOptions ApplyServerEnv(ServerOptions base) {
@@ -316,13 +337,14 @@ void KgServer::AcceptLoop() {
       continue;
     }
     // Admission control: a full queue answers immediately instead of
-    // stalling the client until some worker frees up.
+    // stalling the client until some worker frees up. Count before the
+    // reply write so a client that sees the reject never reads a stale
+    // counter.
+    BumpStat(&Stats::overload_rejects);
     WriteFrame(fd, BuildErrorResponse(
                        0, Status::ResourceExhausted(
                               "server overloaded: request queue full")));
     close(fd);
-    common::MutexLock lock(&stats_mu_);
-    ++stats_.overload_rejects;
   }
 }
 
@@ -357,13 +379,13 @@ void KgServer::WorkerLoop() {
         waited >= std::chrono::milliseconds(options_.request_deadline_ms)) {
       // The client already waited past its deadline; answering now with
       // real work would only add tail latency for everyone behind it.
+      // Count before the reply write (see the acceptor-side reject).
+      BumpStat(&Stats::overload_rejects);
       WriteFrame(conn.fd,
                  BuildErrorResponse(
                      0, Status::ResourceExhausted(
                             "server overloaded: queue wait exceeded deadline")));
       close(conn.fd);
-      common::MutexLock lock(&stats_mu_);
-      ++stats_.overload_rejects;
       continue;
     }
     ServeConnection(conn.fd, conn.enqueued);
@@ -515,33 +537,61 @@ std::string KgServer::HandleQuery(
         return BuildErrorResponse(req.id, admit);
       }
     }
+    // The serialized path carries a CancelSource of its own: the deadline
+    // trips it mid-execution (the engine polls per pulled row, trainers
+    // per epoch), and a timed-out Drain() hard-cancels it — so SIGTERM
+    // shutdown stays bounded even under a long training run. No abandon
+    // probe here: an update whose client vanished still runs to its
+    // atomic completion rather than being torn mid-request.
+    common::CancelSource source;
+    if (has_deadline) source.set_deadline(deadline_at);
     Result<sparql::QueryResult> result = Status::Internal("pending");
     {
+      ScopedActiveSource active(this, &source);
       common::MutexLock lock(&ml_mu_);
-      if (has_deadline && std::chrono::steady_clock::now() >= deadline_at) {
-        // The budget ran out waiting for the serialized path; the model
-        // was never called, so release the admission without a verdict.
+      // The budget (or the whole server) may have run out while this
+      // request waited for the serialized path; the model was never
+      // called, so release the admission without a verdict.
+      const Status waited = source.token().Check();
+      if (!waited.ok()) {
         if (!mutating) breaker_.Abort();
-        BumpStat(&Stats::deadline_exec_expired);
+        BumpStat(waited.code() == StatusCode::kDeadlineExceeded
+                     ? &Stats::deadline_exec_expired
+                     : &Stats::cancelled);
         BumpError();
-        return BuildErrorResponse(
-            req.id, Status::DeadlineExceeded(
-                        "deadline expired waiting for the service path"));
+        return BuildErrorResponse(req.id, waited);
       }
-      result = service_->Execute(req.query);
+      result = service_->Execute(req.query, nullptr, source.token());
     }
-    if (!mutating) breaker_.Record(result.status());
+    const StatusCode rc = result.status().code();
+    const bool cancelled_class =
+        rc == StatusCode::kCancelled || rc == StatusCode::kDeadlineExceeded;
+    if (!mutating) {
+      // A cancelled or deadline-expired run is no verdict on the model
+      // runtime: release the admission instead of recording it.
+      if (cancelled_class)
+        breaker_.Abort();
+      else
+        breaker_.Record(result.status());
+    }
     // Training and model deletes change what the inference ops may
     // serve; drop cached rows rather than risk a stale model's.
     if (mutating) embed_cache_.Clear();
     std::string resp;
     if (!result.ok()) {
+      if (rc == StatusCode::kDeadlineExceeded)
+        BumpStat(&Stats::deadline_exec_expired);
+      else if (rc == StatusCode::kCancelled)
+        BumpStat(&Stats::cancelled);
       BumpError();
       resp = BuildErrorResponse(req.id, result.status());
     } else {
       resp = BuildQueryResponse(req.id, *result, nullptr);
     }
-    if (mutating && !req.rid.empty() && options_.rid_cache_entries > 0)
+    // Only definitive outcomes enter the dedup cache: a transient error
+    // must stay retryable under the same rid (see CacheableRidOutcome).
+    if (mutating && !req.rid.empty() && options_.rid_cache_entries > 0 &&
+        CacheableRidOutcome(result.status()))
       StoreRidResponse(req.rid, resp);
     return resp;
   }

@@ -89,6 +89,15 @@ struct ServerOptions {
 /// (common/thread_pool.h).
 ServerOptions ApplyServerEnv(ServerOptions base);
 
+/// Whether a mutating request's outcome may enter the rid dedup cache.
+/// Only definitive outcomes qualify: success, or a deterministic request
+/// error (parse failure, invalid argument) that every retry would
+/// reproduce. Transient classes — Unavailable, ResourceExhausted,
+/// Cancelled, DeadlineExceeded — mean the update did not definitively
+/// execute; caching one would replay the error to every retry carrying
+/// the same rid, so the request could never succeed.
+bool CacheableRidOutcome(const Status& status);
+
 /// The TCP server. Start() spawns the acceptor and workers; Stop() (or
 /// destruction) shuts them down and closes every connection.
 class KgServer {
@@ -221,10 +230,11 @@ class KgServer {
   common::Mutex ml_mu_;
 
   /// In-flight request accounting for Drain(): every request being
-  /// handled bumps inflight_, and each plain-read query registers its
-  /// CancelSource here so a timed-out drain can hard-cancel it. A source
-  /// is only unregistered under active_mu_, so Drain() never touches a
-  /// destroyed source.
+  /// handled bumps inflight_, and each query — plain reads and
+  /// serialized service-path requests alike — registers its CancelSource
+  /// here so a timed-out drain can hard-cancel it. A source is only
+  /// unregistered under active_mu_, so Drain() never touches a destroyed
+  /// source.
   common::Mutex active_mu_;
   common::CondVar active_cv_;
   int inflight_ KGNET_GUARDED_BY(active_mu_) = 0;

@@ -135,6 +135,24 @@ TEST(CancelTest, ExecutorReportsCancelChecks) {
   EXPECT_GT(info.cancel_checks, 0u);
 }
 
+TEST(CancelTest, CheckNowEvaluatesDeadlineOffStride) {
+  // Trainers poll once per epoch; the 64-poll deadline stride would let
+  // a deadline slide for dozens of epochs, so they use CheckNow, which
+  // consults the clock on every call.
+  CancelSource source;
+  source.set_deadline(std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(30));
+  CancelToken token = source.token();
+  EXPECT_TRUE(token.Check().ok());  // poll 0 lands on the stride, pre-deadline
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Polls 1..62 sit between stride landings: the expired deadline is
+  // invisible to Check() until poll 64.
+  for (int i = 1; i < 63; ++i) EXPECT_TRUE(token.Check().ok()) << i;
+  // CheckNow sees it immediately, and the reason latches for later polls.
+  EXPECT_EQ(token.CheckNow().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
 // ---------------------------------------------------- fault injection --
 
 TEST(FaultInjectionTest, DecisionIsPureAndRateBounded) {
@@ -370,6 +388,12 @@ void LoadDenseGraph(KgNet* kg, int nodes, int degree) {
 const char kChainQuery[] =
     "SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?d . ?d <p> ?e . }";
 
+/// The same 4-hop chain with variable predicates: RoutesToService is
+/// true for it (potential SPARQL-ML), so it runs on the serialized
+/// service path with the same row volume as kChainQuery.
+const char kServiceChainQuery[] =
+    "SELECT * WHERE { ?a ?p ?b . ?b ?q ?c . ?c ?r ?d . ?d ?s ?e . }";
+
 TEST(DeadlineTest, ZeroDeadlineFailsImmediately) {
   KgNet kg;
   kg.store().InsertIris("n1", "p1", "n2");
@@ -471,6 +495,25 @@ TEST(DeadlineTest, AbandonedClientQueryIsCancelled) {
   EXPECT_GE(scope.server().stats().cancelled, 1u);
 }
 
+TEST(DeadlineTest, SerializedServicePathHonorsDeadline) {
+  // Deadline coverage for the serialized (ml_mu_) path: a
+  // variable-predicate chain query routes to the service, where the
+  // token now rides through SparqlMlService::Execute into the engine.
+  KgNet kg;
+  LoadDenseGraph(&kg, 200, 15);
+  ScopedServer scope(&kg.service());
+  ASSERT_TRUE(scope.start_status().ok());
+  KgClient client;
+  ASSERT_TRUE(scope.Connect(&client).ok());
+  client.set_timeout_ms(20000);
+  auto raw = client.Call(BuildQueryRequest(4, kServiceChainQuery, 150));
+  ASSERT_TRUE(raw.ok()) << raw.status();
+  auto parsed = ParseQueryResponse(*raw);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(scope.server().stats().deadline_exec_expired, 1u);
+}
+
 // ------------------------------------------------------ server: drain --
 
 TEST(DrainTest, DrainCancelsInFlightAndRejectsNewWork) {
@@ -510,6 +553,42 @@ TEST(DrainTest, DrainCancelsInFlightAndRejectsNewWork) {
   // The server is stopped; new connections are refused outright.
   KgClient after;
   EXPECT_FALSE(scope.Connect(&after).ok());
+}
+
+TEST(DrainTest, DrainCancelsSerializedServicePathRequests) {
+  // Regression: the serialized path used to register a null
+  // CancelSource, so a drain's hard-cancel never reached it and Stop()
+  // blocked in the worker join until the query ran dry. Service-path
+  // requests now register like plain reads.
+  KgNet kg;
+  LoadDenseGraph(&kg, 200, 15);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.drain_timeout_ms = 200;
+  ScopedServer scope(&kg.service(), options);
+  ASSERT_TRUE(scope.start_status().ok());
+
+  std::atomic<bool> got_response{false};
+  Status slow_status = Status::OK();
+  std::thread slow_thread([&scope, &slow_status, &got_response] {
+    KgClient slow;
+    if (!scope.Connect(&slow).ok()) return;
+    slow.set_timeout_ms(20000);
+    auto r = slow.Query(kServiceChainQuery);
+    slow_status = r.status();
+    got_response.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto begin = std::chrono::steady_clock::now();
+  scope.server().Drain();
+  const auto drain_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - begin)
+                            .count();
+  slow_thread.join();
+  ASSERT_TRUE(got_response.load());
+  EXPECT_EQ(slow_status.code(), StatusCode::kCancelled) << slow_status;
+  EXPECT_GE(scope.server().stats().cancelled, 1u);
+  EXPECT_LT(drain_ms, 5000);
 }
 
 TEST(DrainTest, RapidStartStopNeverStrandsAWorker) {
@@ -614,6 +693,94 @@ TEST(RidDedupTest, RetryUnderInjectedResponseLossAppliesOnce) {
   KgClient reader;
   ASSERT_TRUE(scope.Connect(&reader).ok());
   auto rows = reader.Query("SELECT * WHERE { <n8> <p2> ?o . }");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->result.NumRows(), 1u);
+}
+
+TEST(RidDedupTest, DistinctClientsWithDefaultOptionsNeverCollide) {
+  // Regression: auto-generated rids used to be a pure function of
+  // (jitter_seed, request id), so two clients running the default
+  // options emitted identical rid sequences and the second client's
+  // *different* update was answered from the first one's cache entry —
+  // a silently lost write. Rids now mix a per-client nonce.
+  KgNet kg;
+  ScopedServer scope(&kg.service());
+  ASSERT_TRUE(scope.start_status().ok());
+
+  RetryOptions retry;  // defaults, identical for both clients
+  retry.max_attempts = 3;
+  KgClient a;
+  KgClient b;
+  a.set_retry_options(retry);
+  b.set_retry_options(retry);
+  EXPECT_NE(a.rid_nonce(), b.rid_nonce());
+  ASSERT_TRUE(scope.Connect(&a).ok());
+  ASSERT_TRUE(scope.Connect(&b).ok());
+
+  // Same request id (1) on both connections, different payloads.
+  auto ra = a.Query("INSERT DATA { <ca> <p1> <n1> . }");
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  auto rb = b.Query("INSERT DATA { <cb> <p1> <n1> . }");
+  ASSERT_TRUE(rb.ok()) << rb.status();
+
+  EXPECT_EQ(scope.server().stats().rid_replays, 0u);
+  KgClient reader;
+  ASSERT_TRUE(scope.Connect(&reader).ok());
+  for (const char* q : {"SELECT * WHERE { <ca> <p1> ?o . }",
+                        "SELECT * WHERE { <cb> <p1> ?o . }"}) {
+    auto rows = reader.Query(q);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    EXPECT_EQ(rows->result.NumRows(), 1u) << q;
+  }
+}
+
+TEST(RidDedupTest, OnlyDefinitiveOutcomesAreCacheable) {
+  // Success and deterministic request errors replay; transient classes
+  // must re-execute or the retry carrying the same rid can never
+  // succeed.
+  EXPECT_TRUE(CacheableRidOutcome(Status::OK()));
+  EXPECT_TRUE(CacheableRidOutcome(Status::InvalidArgument("bad")));
+  EXPECT_TRUE(CacheableRidOutcome(Status::ParseError("bad")));
+  EXPECT_TRUE(CacheableRidOutcome(Status::NotFound("missing")));
+  EXPECT_FALSE(CacheableRidOutcome(Status::Unavailable("later")));
+  EXPECT_FALSE(CacheableRidOutcome(Status::ResourceExhausted("full")));
+  EXPECT_FALSE(CacheableRidOutcome(Status::Cancelled("gone")));
+  EXPECT_FALSE(CacheableRidOutcome(Status::DeadlineExceeded("late")));
+}
+
+TEST(RidDedupTest, TransientErrorIsNotCachedSoTheRetryCanSucceed) {
+  // An update that dies on its deadline must not poison its rid: the
+  // follow-up attempt with the same rid has to execute, not replay the
+  // cached error forever.
+  KgNet kg;
+  LoadDenseGraph(&kg, 200, 15);
+  ScopedServer scope(&kg.service());
+  ASSERT_TRUE(scope.start_status().ok());
+  KgClient client;
+  ASSERT_TRUE(scope.Connect(&client).ok());
+  client.set_timeout_ms(20000);
+
+  // A mutating INSERT..WHERE whose chain scan cannot finish in 100ms.
+  auto first = client.Call(BuildQueryRequest(
+      11,
+      "INSERT { ?a <marker> <done> } WHERE "
+      "{ ?a <p> ?b . ?b <p> ?c . ?c <p> ?d . ?d <p> ?e . }",
+      100, "rid-transient-1"));
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto parsed = ParseQueryResponse(*first);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Same rid, fresh budget, cheap payload: must execute and succeed.
+  auto second = client.Call(BuildQueryRequest(
+      12, "INSERT DATA { <t1> <marker> <done> . }", -1, "rid-transient-1"));
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto ok = ParseQueryResponse(*second);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(scope.server().stats().rid_replays, 0u);
+  KgClient reader;
+  ASSERT_TRUE(scope.Connect(&reader).ok());
+  auto rows = reader.Query("SELECT * WHERE { <t1> <marker> ?o . }");
   ASSERT_TRUE(rows.ok()) << rows.status();
   EXPECT_EQ(rows->result.NumRows(), 1u);
 }

@@ -5,6 +5,7 @@
 // similarity.
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "core/kgnet.h"
 #include "workload/dblp_gen.h"
 
@@ -76,6 +77,31 @@ TEST_F(SparqlMlE2eTest, TrainGmlInsertRegistersModel) {
   EXPECT_GT(info->cardinality, 0u);
   // The trained artifact is servable.
   EXPECT_TRUE(kg_.service().model_store().Get(uri).ok());
+}
+
+TEST_F(SparqlMlE2eTest, CancelledTrainGmlRegistersNothing) {
+  // A tripped cancel token (here: a draining server's hard-cancel)
+  // aborts training at the next epoch boundary and the pipeline
+  // registers nothing — unlike the time budget, which keeps the
+  // partially trained model.
+  common::CancelSource source;
+  source.Cancel(common::CancelReason::kDrain);
+  auto r = kg_.service().Execute(
+      std::string(kPrefixes) +
+          "INSERT INTO <kgnet> { ?s ?p ?o } WHERE { "
+          "SELECT * FROM kgnet.TrainGML(\n"
+          "{Name: 'DBLP_Paper-Venue',\n"
+          " GML-Task: {TaskType: kgnet:NodeClassifier,\n"
+          "  TargetNode: dblp:Publication,\n"
+          "  NodeLabel: dblp:publishedIn},\n"
+          " TaskBudget: {MaxMemory: 10GB, MaxTime: 2m,"
+          " Priority: ModelScore},"
+          " Hyperparameters: {Epochs: 60, HiddenDim: 16, EmbedDim: 16,"
+          " Patience: 25}})}",
+      nullptr, source.token());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(kg_.service().kgmeta().NumModels(), 0u);
 }
 
 TEST_F(SparqlMlE2eTest, Figure2VenueQueryPredictsForEveryPaper) {

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <thread>
@@ -52,6 +54,72 @@ TEST(DictionaryTest, FindDoesNotIntern) {
   Dictionary dict;
   EXPECT_EQ(dict.Find(Term::Iri("nope")), kNullTermId);
   EXPECT_EQ(dict.num_terms(), 0u);
+}
+
+TEST(DictionaryTest, RoundTripsAcrossBlockBoundaries) {
+  // Terms live in doubling-size blocks (4096, 8192, ...); 100k interns
+  // cross four block boundaries. Every id must round-trip and every
+  // Lookup reference taken early must survive all later interning —
+  // with the old std::vector storage a reallocation invalidated them.
+  Dictionary dict;
+  const TermId first = dict.InternIri("iri-0");
+  const Term* early_ref = &dict.Lookup(first);
+  std::vector<TermId> ids;
+  ids.reserve(100000);
+  for (int i = 0; i < 100000; ++i)
+    ids.push_back(dict.InternIri("iri-" + std::to_string(i)));
+  EXPECT_EQ(dict.num_terms(), 100000u);
+  EXPECT_EQ(early_ref, &dict.Lookup(first));  // never moved
+  for (int i = 0; i < 100000; i += 997) {
+    EXPECT_EQ(dict.Lookup(ids[i]).lexical, "iri-" + std::to_string(i)) << i;
+    EXPECT_EQ(dict.FindIri("iri-" + std::to_string(i)), ids[i]) << i;
+  }
+  // The ids right at the 4096/12288/28672/61440 boundaries.
+  for (TermId id : {4095u, 4096u, 12287u, 12288u, 28671u, 28672u, 61439u,
+                    61440u}) {
+    ASSERT_TRUE(dict.Contains(id));
+    EXPECT_EQ(dict.Find(dict.Lookup(id)), id);
+  }
+}
+
+TEST(DictionaryTest, LookupsAreSafeAgainstConcurrentInterning) {
+  // The MVCC read-path contract (docs/STORAGE.md): result projection
+  // Lookups race one interning writer. Readers copy terms they learned
+  // before the writer started; the writer pushes the dictionary through
+  // several block allocations. Run under TSan/ASan this is the
+  // regression test for the vector-reallocation use-after-free that
+  // crashed test_serving_stress.
+  Dictionary dict;
+  std::vector<TermId> warm;
+  for (int i = 0; i < 512; ++i)
+    warm.push_back(dict.InternIri("warm-" + std::to_string(i)));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> lookups{0};
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&dict, &warm, &stop, &lookups, t] {
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const TermId id = warm[(n * 31 + static_cast<uint64_t>(t)) %
+                               warm.size()];
+        Term copy = dict.Lookup(id);  // the crash site: copy mid-realloc
+        if (copy.lexical.empty()) break;
+        // Find shares the string index with the writer's interns.
+        if (dict.Find(copy) != id) break;
+        ++n;
+      }
+      lookups.fetch_add(n);
+    });
+  }
+  for (int i = 0; i < 30000; ++i) dict.InternIri("new-" + std::to_string(i));
+  stop.store(true);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(dict.num_terms(), 512u + 30000u);
+  EXPECT_GT(lookups.load(), 0u);
+  for (int t = 0; t < 3; ++t)
+    EXPECT_EQ(dict.Lookup(warm[static_cast<size_t>(t)]).lexical,
+              "warm-" + std::to_string(t));
 }
 
 class TripleStoreTest : public ::testing::Test {
